@@ -1,0 +1,167 @@
+// Command experiments regenerates the paper's evaluation artifacts on
+// the synthetic trace:
+//
+//	experiments table1      — Table 1 (all filters, weightings, algorithms)
+//	experiments fig2a       — Figure 2a (grouping/backfilling impact)
+//	experiments fig2b       — Figure 2b (ordering comparison, case (d))
+//	experiments lowerbound  — §4.2 LP-EXP lower-bound ratio
+//	experiments all         — everything above
+//
+// Shared flags:
+//
+//	-ports N     switch size (default 50; use 150 for paper scale)
+//	-coflows N   coflows to generate (default 120)
+//	-seed S      trace seed
+//	-filters a,b,c  M0 thresholds (default 50,40,30)
+//	-recompute   enable the work-conserving scheduling extension
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"coflow/internal/experiments"
+	"coflow/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	ports := fs.Int("ports", 50, "switch size m (150 = paper scale; slower LP)")
+	coflows := fs.Int("coflows", 120, "number of generated coflows")
+	seed := fs.Int64("seed", 1, "trace seed")
+	filtersArg := fs.String("filters", "50,40,30", "comma-separated M0 thresholds")
+	recompute := fs.Bool("recompute", false, "work-conserving scheduling extension")
+	weightSeed := fs.Int64("weightseed", 7, "seed for the random-permutation weighting")
+
+	if len(os.Args) < 2 {
+		usage()
+	}
+	sub := os.Args[1]
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		log.Fatal(err)
+	}
+
+	filters, err := parseFilters(*filtersArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Trace.Ports = *ports
+	cfg.Trace.NumCoflows = *coflows
+	cfg.Trace.Seed = *seed
+	cfg.Filters = filters
+	cfg.Recompute = *recompute
+	cfg.WeightSeed = *weightSeed
+
+	switch sub {
+	case "table1":
+		fmt.Print(mustReport(cfg).FormatTable1())
+	case "fig2a":
+		out, err := mustReport(cfg).FormatFig2a()
+		fail(err)
+		fmt.Print(out)
+	case "fig2b":
+		out, err := mustReport(cfg).FormatFig2b()
+		fail(err)
+		fmt.Print(out)
+	case "lowerbound":
+		fmt.Print(runLowerBound(*seed, *weightSeed))
+	case "extensions":
+		rep, err := experiments.RunExtensions(cfg)
+		fail(err)
+		fmt.Print(rep.Format())
+	case "scaling":
+		rep, err := experiments.RunScaling(cfg.Trace, scalingSizes(*coflows), *weightSeed)
+		fail(err)
+		fmt.Print(rep.Format())
+	case "arrivals":
+		rep, err := experiments.RunArrivalSweep(cfg.Trace, []float64{0, 2, 8, 32, 128}, *weightSeed)
+		fail(err)
+		fmt.Print(rep.Format())
+	case "all":
+		rep := mustReport(cfg)
+		fmt.Print(rep.FormatTable1())
+		fmt.Println()
+		out, err := rep.FormatFig2a()
+		fail(err)
+		fmt.Print(out)
+		fmt.Println()
+		out, err = rep.FormatFig2b()
+		fail(err)
+		fmt.Print(out)
+		fmt.Println()
+		fmt.Print(runLowerBound(*seed, *weightSeed))
+		fmt.Println()
+		ext, err := experiments.RunExtensions(cfg)
+		fail(err)
+		fmt.Print(ext.Format())
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: experiments {table1|fig2a|fig2b|lowerbound|extensions|scaling|arrivals|all} [flags]")
+	os.Exit(2)
+}
+
+// scalingSizes sweeps powers of two up to the configured coflow count.
+func scalingSizes(max int) []int {
+	var sizes []int
+	for n := 8; n < max; n *= 2 {
+		sizes = append(sizes, n)
+	}
+	return append(sizes, max)
+}
+
+func fail(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustReport(cfg experiments.Config) *experiments.Report {
+	rep, err := experiments.Run(cfg)
+	fail(err)
+	return rep
+}
+
+// runLowerBound uses a reduced-scale trace so the time-indexed LP-EXP
+// stays tractable (the paper itself solved it only once for the same
+// reason).
+func runLowerBound(seed, weightSeed int64) string {
+	tr := trace.DefaultConfig()
+	tr.Ports = 10
+	tr.NumCoflows = 10
+	tr.MaxFlowSize = 10
+	tr.Seed = seed
+	res, err := experiments.RunLowerBound(tr, weightSeed)
+	fail(err)
+	return res.Format()
+}
+
+func parseFilters(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad filter %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no filters given")
+	}
+	return out, nil
+}

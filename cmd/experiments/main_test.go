@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseFilters(t *testing.T) {
+	got, err := parseFilters("50, 40,30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{50, 40, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseFilters = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "a,b", "-3", ","} {
+		if _, err := parseFilters(bad); err == nil {
+			t.Errorf("parseFilters(%q) accepted", bad)
+		}
+	}
+}
+
+func TestScalingSizes(t *testing.T) {
+	sizes := scalingSizes(64)
+	if len(sizes) == 0 || sizes[len(sizes)-1] != 64 {
+		t.Fatalf("scalingSizes(64) = %v", sizes)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Fatalf("sizes not increasing: %v", sizes)
+		}
+	}
+	if got := scalingSizes(8); len(got) != 1 || got[0] != 8 {
+		t.Fatalf("scalingSizes(8) = %v", got)
+	}
+}

@@ -1,0 +1,71 @@
+// Command tracegen generates a synthetic Facebook-like coflow trace
+// (the documented substitution for the paper's proprietary trace) and
+// writes it as JSON.
+//
+// Usage:
+//
+//	tracegen -out trace.json [-ports 150] [-coflows 300] [-seed 1]
+//	         [-maxflow 1000] [-interarrival 0] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"coflow/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	cfg := trace.DefaultConfig()
+	out := flag.String("out", "", "output path (default: stdout)")
+	format := flag.String("format", "json", "output format: json or bench (community coflow-benchmark)")
+	unitMillis := flag.Float64("unitms", 1000.0/128.0, "bench format: milliseconds per time unit")
+	flag.IntVar(&cfg.Ports, "ports", cfg.Ports, "switch size m (network ports per side)")
+	flag.IntVar(&cfg.NumCoflows, "coflows", cfg.NumCoflows, "number of coflows to generate")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "RNG seed (generation is deterministic)")
+	flag.Int64Var(&cfg.MaxFlowSize, "maxflow", cfg.MaxFlowSize, "maximum single-flow size in data units")
+	flag.Float64Var(&cfg.MeanInterarrival, "interarrival", cfg.MeanInterarrival,
+		"mean coflow interarrival time (0 = all released at time 0)")
+	stats := flag.Bool("stats", false, "print workload statistics to stderr")
+	flag.Parse()
+
+	ins, err := trace.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *stats {
+		s := trace.Summarize(ins)
+		fmt.Fprintf(os.Stderr, "coflows=%d ports=%d units=%d maxPortLoad=%d narrow=%d wide=%d meanFlows=%.1f\n",
+			s.Coflows, s.Ports, s.TotalUnits, s.MaxLoad, s.NarrowCount, s.WideCount, s.MeanFlows)
+	}
+	var w *os.File
+	if *out == "" {
+		w = os.Stdout
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		err = ins.Write(w)
+	case "bench":
+		err = trace.WriteBenchmarkFormat(w, ins, *unitMillis)
+	default:
+		log.Fatalf("unknown -format %q (want json or bench)", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d coflows to %s\n", len(ins.Coflows), *out)
+	}
+}

@@ -1,0 +1,191 @@
+package coflow_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"coflow"
+)
+
+func figure1Instance() *coflow.Instance {
+	return &coflow.Instance{
+		Ports: 2,
+		Coflows: []coflow.Coflow{{
+			ID: 1, Weight: 1,
+			Flows: []coflow.Flow{
+				{Src: 0, Dst: 0, Size: 1}, {Src: 0, Dst: 1, Size: 2},
+				{Src: 1, Dst: 0, Size: 2}, {Src: 1, Dst: 1, Size: 1},
+			},
+		}},
+	}
+}
+
+func TestQuickstartShape(t *testing.T) {
+	res, err := coflow.Algorithm2(figure1Instance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completion[0] != 3 {
+		t.Fatalf("completion = %d, want 3", res.Completion[0])
+	}
+}
+
+func TestPublicScheduleAllOrderings(t *testing.T) {
+	ins, err := coflow.GenerateTrace(smallTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []coflow.Ordering{coflow.OrderArrival, coflow.OrderLoadWeight, coflow.OrderLP} {
+		res, err := coflow.Schedule(ins, coflow.Options{Ordering: o, Grouping: true, Backfill: true})
+		if err != nil {
+			t.Fatalf("%v: %v", o, err)
+		}
+		if res.TotalWeighted <= 0 {
+			t.Fatalf("%v: degenerate total", o)
+		}
+	}
+}
+
+func smallTrace() coflow.TraceConfig {
+	cfg := coflow.DefaultTraceConfig()
+	cfg.Ports = 12
+	cfg.NumCoflows = 15
+	cfg.MaxFlowSize = 20
+	return cfg
+}
+
+func TestPublicLowerBounds(t *testing.T) {
+	ins := figure1Instance()
+	lb, err := coflow.LowerBound(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlb, err := coflow.TimeIndexedLowerBound(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb > tlb+1e-9 || tlb > 3+1e-9 {
+		t.Fatalf("bounds out of order: interval %g, time-indexed %g, OPT 3", lb, tlb)
+	}
+}
+
+func TestPublicRandomized(t *testing.T) {
+	ins, err := coflow.GenerateTrace(smallTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coflow.Randomized(ins, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Completion) != len(ins.Coflows) {
+		t.Fatal("missing completions")
+	}
+}
+
+func TestPublicDecompose(t *testing.T) {
+	d := coflow.NewMatrix(2)
+	d.Set(0, 0, 1)
+	d.Set(0, 1, 2)
+	d.Set(1, 0, 2)
+	d.Set(1, 1, 1)
+	dec, err := coflow.Decompose(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Load != 3 {
+		t.Fatalf("load = %d, want 3", dec.Load)
+	}
+	if err := dec.Verify(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicInstanceIO(t *testing.T) {
+	ins := figure1Instance()
+	path := filepath.Join(t.TempDir(), "fig1.json")
+	if err := ins.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := coflow.ReadInstance(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalWork() != ins.TotalWork() {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestCoflowFromMatrix(t *testing.T) {
+	d := coflow.NewMatrix(2)
+	d.Set(1, 0, 5)
+	c := coflow.CoflowFromMatrix(3, 2, 1, d)
+	if c.ID != 3 || c.Weight != 2 || c.Release != 1 || c.TotalSize() != 5 {
+		t.Fatalf("bad coflow: %+v", c)
+	}
+}
+
+func TestRatiosExposed(t *testing.T) {
+	if coflow.DeterministicRatio <= coflow.DeterministicRatioZeroRelease {
+		t.Fatal("ratio ordering wrong")
+	}
+	if coflow.RandomizedRatio <= coflow.RandomizedRatioZeroRelease {
+		t.Fatal("randomized ratio ordering wrong")
+	}
+}
+
+func TestPublicScheduleOrderedWithPrimalDual(t *testing.T) {
+	ins, err := coflow.GenerateTrace(smallTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := coflow.PrimalDualOrder(ins)
+	seen := make([]bool, len(order))
+	for _, k := range order {
+		if k < 0 || k >= len(order) || seen[k] {
+			t.Fatalf("PD order not a permutation: %v", order)
+		}
+		seen[k] = true
+	}
+	res, err := coflow.ScheduleOrdered(ins, order, coflow.Options{Grouping: true, Backfill: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWeighted <= 0 {
+		t.Fatal("degenerate PD schedule")
+	}
+}
+
+func TestPublicFluidSchedule(t *testing.T) {
+	ins, err := coflow.GenerateTrace(smallTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coflow.FluidSchedule(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range ins.Coflows {
+		min := float64(ins.Coflows[k].Release + ins.Coflows[k].Load(ins.Ports))
+		if res.Completion[k] < min-1e-6 {
+			t.Fatalf("fluid completion %g beats load bound %g", res.Completion[k], min)
+		}
+	}
+}
+
+func TestPublicOnlineSchedule(t *testing.T) {
+	ins, err := coflow.GenerateTrace(smallTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []coflow.OnlinePolicy{coflow.OnlineFIFO, coflow.OnlineSEBF, coflow.OnlineWSPT} {
+		res, err := coflow.OnlineSchedule(ins, p)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.Makespan <= 0 {
+			t.Fatalf("%v: degenerate makespan", p)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Release dates: coflows arrive over time (Poisson interarrivals) and
+// the scheduler must respect r_k — the setting of Theorem 1 (the
+// paper's experiments set r_k = 0; this example exercises the general
+// case). It compares arrival-order FIFO with Algorithm 2 and checks
+// the Proposition 1 guarantee on every completion.
+//
+//	go run ./examples/onlinebatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coflow"
+	"coflow/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := coflow.BenchTraceConfig()
+	cfg.Ports = 24
+	cfg.NumCoflows = 30
+	cfg.MaxFlowSize = 60
+	cfg.MeanInterarrival = 8 // bursty arrivals: heavy contention
+	ins, err := coflow.GenerateTrace(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d coflows arriving over [0, %d] on a %d-port fabric\n\n",
+		len(ins.Coflows), ins.MaxRelease(), ins.Ports)
+
+	fifo, err := coflow.Schedule(ins, coflow.Options{Ordering: coflow.OrderArrival})
+	if err != nil {
+		log.Fatal(err)
+	}
+	alg2, err := coflow.Algorithm2(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-28s %14s %10s\n", "algorithm", "Σ w·C", "makespan")
+	fmt.Printf("%-28s %14.0f %10d\n", "FIFO (arrival order)", fifo.TotalWeighted, fifo.Makespan)
+	fmt.Printf("%-28s %14.0f %10d\n", "Algorithm 2 (LP + grouping)", alg2.TotalWeighted, alg2.Makespan)
+	fmt.Println("\n(Algorithm 2 shines under contention; with very sparse arrivals its")
+	fmt.Println(" group-release waiting can lose to FIFO — the guarantee still holds.)")
+
+	// Verify the deterministic guarantee of Proposition 1 on this run:
+	// C_k ≤ (release wait) + 4·V_k for every coflow.
+	bound := core.Proposition1Bound(ins, alg2.Order, alg2.Stages, alg2.V)
+	worst := 0.0
+	for pos, k := range alg2.Order {
+		if alg2.Completion[k] > bound[pos] {
+			log.Fatalf("Proposition 1 violated at position %d", pos)
+		}
+		if r := float64(alg2.Completion[k]) / float64(bound[pos]); r > worst {
+			worst = r
+		}
+	}
+	fmt.Printf("\nProposition 1 check: every completion within its bound "+
+		"(tightest at %.0f%% of the guarantee)\n", worst*100)
+	fmt.Printf("proven worst case is %.2f×OPT with release dates (Theorem 1)\n",
+		coflow.DeterministicRatio)
+}

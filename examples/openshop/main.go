@@ -1,0 +1,68 @@
+// Concurrent open shop equivalence (Appendix A): coflows with
+// diagonal demand matrices are exactly concurrent open shop jobs.
+// The example builds a small shop, embeds it as coflows, and shows
+// that the coflow machinery (LP ordering + BvN scheduling) matches
+// dedicated shop list-scheduling.
+//
+//	go run ./examples/openshop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coflow"
+	"coflow/internal/openshop"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	shop := &openshop.Instance{
+		Machines: 3,
+		Jobs: []openshop.Job{
+			{ID: 1, Weight: 1, Proc: []int64{4, 0, 2}},
+			{ID: 2, Weight: 3, Proc: []int64{1, 1, 1}},
+			{ID: 3, Weight: 1, Proc: []int64{0, 5, 0}},
+			{ID: 4, Weight: 2, Proc: []int64{2, 2, 0}},
+		},
+	}
+
+	// The true optimum (permutation schedules are optimal here).
+	order, comp, opt, err := openshop.BestPermutation(shop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("concurrent open shop with 4 jobs on 3 machines")
+	fmt.Printf("  optimal permutation: %v, completions %v, Σ w·C = %.0f\n", order, comp, opt)
+
+	// LP-based ordering (Wang–Cheng style) + list scheduling.
+	lpOrder, err := openshop.LPOrder(shop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lpComp, err := openshop.ScheduleByOrder(shop, lpOrder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  LP ordering:         %v, completions %v, Σ w·C = %.0f\n",
+		lpOrder, lpComp, shop.TotalWeighted(lpComp))
+
+	// The same problem through the coflow stack: diagonal embedding.
+	cins := shop.ToCoflowInstance()
+	for k := range cins.Coflows {
+		if !cins.Coflows[k].Matrix(cins.Ports).IsDiagonal() {
+			log.Fatal("embedding must be diagonal")
+		}
+	}
+	res, err := coflow.Schedule(cins, coflow.Options{
+		Ordering: coflow.OrderLP, Grouping: true, Backfill: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  coflow HLP(d):       completions %v, Σ w·C = %.0f\n",
+		res.Completion, res.TotalWeighted)
+	fmt.Printf("\nA diagonal coflow instance IS a concurrent open shop instance;\n")
+	fmt.Printf("the coflow algorithms solve it within their proven factors (optimum %.0f).\n", opt)
+}

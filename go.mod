@@ -1,0 +1,3 @@
+module coflow
+
+go 1.22

@@ -1,0 +1,192 @@
+// Package bvn implements Algorithm 1 of the paper: the integer
+// Birkhoff–von Neumann decomposition.
+//
+// Given a non-negative integer matrix D with load ρ(D) (the maximum
+// row or column sum), Step 1 augments D to a matrix D̃ ≥ D whose row
+// and column sums all equal ρ(D), in at most 2m−1 augmentation steps.
+// Step 2 repeatedly extracts a perfect matching on the support of D̃
+// and subtracts it with the largest feasible multiplicity, producing
+//
+//	D̃ = Σ_{u=1..U} q_u · Π_u,   Σ q_u = ρ(D),   U ≤ m².
+//
+// Scheduling the matchings Π_u for q_u slots each therefore finishes
+// the coflow D in exactly ρ(D) slots (Lemma 4), which is optimal.
+package bvn
+
+import (
+	"fmt"
+
+	"coflow/internal/matching"
+	"coflow/internal/matrix"
+)
+
+// Term is one weighted permutation in a decomposition: the matching
+// Perm scheduled for Count consecutive time slots.
+type Term struct {
+	Count int64
+	Perm  matrix.Permutation
+}
+
+// Decomposition is the result of Algorithm 1 on a coflow matrix.
+type Decomposition struct {
+	// Load is ρ(D), the total number of slots Σ q_u.
+	Load int64
+	// Terms are the weighted permutations, in extraction order.
+	Terms []Term
+	// Augmented is D̃, the matrix the terms sum to exactly.
+	Augmented *matrix.Matrix
+}
+
+// Augment performs Step 1 of Algorithm 1: it returns a copy of d with
+// entries increased until every row and column sums to ρ(d). The input
+// is not modified. A zero matrix is returned unchanged.
+func Augment(d *matrix.Matrix) *matrix.Matrix {
+	if d.Rows() != d.Cols() {
+		panic(fmt.Sprintf("bvn: Augment needs a square matrix, got %d×%d", d.Rows(), d.Cols()))
+	}
+	m := d.Rows()
+	rho := d.Load()
+	out := d.Clone()
+	if rho == 0 {
+		return out
+	}
+	rows := out.RowSums()
+	cols := out.ColSums()
+	// Each step saturates at least one row or column, so at most 2m−1
+	// iterations run before every sum equals ρ.
+	for iter := 0; iter <= 2*m; iter++ {
+		iMin, jMin := 0, 0
+		for i := 1; i < m; i++ {
+			if rows[i] < rows[iMin] {
+				iMin = i
+			}
+			if cols[i] < cols[jMin] {
+				jMin = i
+			}
+		}
+		if rows[iMin] == rho && cols[jMin] == rho {
+			return out
+		}
+		p := rho - rows[iMin]
+		if c := rho - cols[jMin]; c < p {
+			p = c
+		}
+		out.Add(iMin, jMin, p)
+		rows[iMin] += p
+		cols[jMin] += p
+	}
+	panic("bvn: Augment did not converge in 2m+1 iterations (invariant violated)")
+}
+
+// Decompose runs Algorithm 1 on d and returns the full decomposition.
+// It errors only if an internal invariant is violated (a balanced
+// matrix whose support has no perfect matching), which cannot happen
+// for valid inputs.
+func Decompose(d *matrix.Matrix) (*Decomposition, error) {
+	aug := Augment(d)
+	dec := &Decomposition{Load: d.Load(), Augmented: aug.Clone()}
+	work := aug
+	m := d.Rows()
+	maxTerms := m*m + 1
+	for !work.IsZero() {
+		if len(dec.Terms) >= maxTerms {
+			return nil, fmt.Errorf("bvn: more than m²=%d terms extracted; invariant violated", m*m)
+		}
+		perm, err := matching.PerfectOnSupport(work)
+		if err != nil {
+			return nil, fmt.Errorf("bvn: %w", err)
+		}
+		// q = min entry along the matching: subtracting q·Π zeroes at
+		// least one support entry, bounding the number of terms by m².
+		var q int64 = -1
+		for i, j := range perm.To {
+			if v := work.At(i, j); q < 0 || v < q {
+				q = v
+			}
+		}
+		if q <= 0 {
+			return nil, fmt.Errorf("bvn: non-positive multiplicity %d; invariant violated", q)
+		}
+		for i, j := range perm.To {
+			work.Add(i, j, -q)
+		}
+		dec.Terms = append(dec.Terms, Term{Count: q, Perm: perm})
+	}
+	return dec, nil
+}
+
+// MustDecompose is Decompose that panics on error. The error paths are
+// unreachable for valid (square, non-negative) inputs, so callers that
+// construct matrices through the matrix package can use this form.
+func MustDecompose(d *matrix.Matrix) *Decomposition {
+	dec, err := Decompose(d)
+	if err != nil {
+		panic(err)
+	}
+	return dec
+}
+
+// TotalSlots returns Σ q_u (equal to Load for a valid decomposition).
+func (d *Decomposition) TotalSlots() int64 {
+	var s int64
+	for _, t := range d.Terms {
+		s += t.Count
+	}
+	return s
+}
+
+// Sum reconstructs Σ q_u·Π_u as a matrix (equal to Augmented).
+func (d *Decomposition) Sum(m int) *matrix.Matrix {
+	out := matrix.NewSquare(m)
+	for _, t := range d.Terms {
+		for i, j := range t.Perm.To {
+			if j != matrix.Unmatched {
+				out.Add(i, j, t.Count)
+			}
+		}
+	}
+	return out
+}
+
+// Verify checks every invariant of Lemma 4 against the original matrix
+// d: the terms are perfect matchings, Σ q_u = ρ(d), the term sum
+// equals the augmented matrix, and the augmented matrix dominates d
+// with all row/column sums equal to ρ(d). It returns the first
+// violation found, or nil.
+func (dec *Decomposition) Verify(d *matrix.Matrix) error {
+	m := d.Rows()
+	if dec.Load != d.Load() {
+		return fmt.Errorf("bvn: decomposition load %d != ρ(D) %d", dec.Load, d.Load())
+	}
+	if got := dec.TotalSlots(); got != dec.Load {
+		return fmt.Errorf("bvn: Σq_u = %d != ρ(D) = %d", got, dec.Load)
+	}
+	if len(dec.Terms) > m*m {
+		return fmt.Errorf("bvn: %d terms exceeds m² = %d", len(dec.Terms), m*m)
+	}
+	for u, t := range dec.Terms {
+		if t.Count <= 0 {
+			return fmt.Errorf("bvn: term %d has count %d", u, t.Count)
+		}
+		if dec.Load > 0 && !t.Perm.IsPerfect() {
+			return fmt.Errorf("bvn: term %d is not a perfect matching", u)
+		}
+	}
+	if !dec.Sum(m).Equal(dec.Augmented) {
+		return fmt.Errorf("bvn: term sum differs from augmented matrix")
+	}
+	if !dec.Augmented.GE(d) {
+		return fmt.Errorf("bvn: augmented matrix does not dominate D")
+	}
+	if dec.Load > 0 {
+		for i := 0; i < m; i++ {
+			if rs := dec.Augmented.RowSum(i); rs != dec.Load {
+				return fmt.Errorf("bvn: augmented row %d sums to %d, want %d", i, rs, dec.Load)
+			}
+			if cs := dec.Augmented.ColSum(i); cs != dec.Load {
+				return fmt.Errorf("bvn: augmented col %d sums to %d, want %d", i, cs, dec.Load)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package bvn
+
+import (
+	"fmt"
+	"sort"
+
+	"coflow/internal/matching"
+	"coflow/internal/matrix"
+)
+
+// Strategy selects how Step 2 of Algorithm 1 extracts matchings. Both
+// strategies satisfy Lemma 4 exactly (Σq_u = ρ, ≤ m² terms); they
+// differ in how many terms they typically produce, which matters when
+// each distinct matching is a reconfiguration of a physical fabric.
+type Strategy int
+
+const (
+	// StrategyFirst extracts any perfect matching on the support (the
+	// paper's Algorithm 1 as written).
+	StrategyFirst Strategy = iota
+	// StrategyThick extracts a bottleneck matching: the perfect
+	// matching whose minimum entry is as large as possible, found by
+	// binary search over entry thresholds. Each term then carries the
+	// largest possible multiplicity, so fewer terms are emitted.
+	StrategyThick
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyFirst:
+		return "first"
+	case StrategyThick:
+		return "thick"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// DecomposeWith runs Algorithm 1 using the given extraction strategy.
+func DecomposeWith(d *matrix.Matrix, strategy Strategy) (*Decomposition, error) {
+	if strategy == StrategyFirst {
+		return Decompose(d)
+	}
+	aug := Augment(d)
+	dec := &Decomposition{Load: d.Load(), Augmented: aug.Clone()}
+	work := aug
+	m := d.Rows()
+	maxTerms := m*m + 1
+	for !work.IsZero() {
+		if len(dec.Terms) >= maxTerms {
+			return nil, fmt.Errorf("bvn: more than m²=%d terms extracted; invariant violated", m*m)
+		}
+		perm, err := bottleneckMatching(work)
+		if err != nil {
+			return nil, fmt.Errorf("bvn: %w", err)
+		}
+		var q int64 = -1
+		for i, j := range perm.To {
+			if v := work.At(i, j); q < 0 || v < q {
+				q = v
+			}
+		}
+		if q <= 0 {
+			return nil, fmt.Errorf("bvn: non-positive multiplicity %d; invariant violated", q)
+		}
+		for i, j := range perm.To {
+			work.Add(i, j, -q)
+		}
+		dec.Terms = append(dec.Terms, Term{Count: q, Perm: perm})
+	}
+	return dec, nil
+}
+
+// bottleneckMatching finds a perfect matching maximizing the minimum
+// matrix entry along it: binary search the threshold θ over the
+// distinct positive entries, keeping the largest θ whose ≥θ-support
+// still admits a perfect matching.
+func bottleneckMatching(work *matrix.Matrix) (matrix.Permutation, error) {
+	m := work.Rows()
+	// Collect distinct positive entry values.
+	seen := map[int64]bool{}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if v := work.At(i, j); v > 0 {
+				seen[v] = true
+			}
+		}
+	}
+	if len(seen) == 0 {
+		return matrix.Permutation{}, fmt.Errorf("bottleneck matching on zero matrix")
+	}
+	values := make([]int64, 0, len(seen))
+	for v := range seen {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(a, b int) bool { return values[a] < values[b] })
+
+	supportAtLeast := func(theta int64) *matching.Graph {
+		g := matching.NewGraph(m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				if work.At(i, j) >= theta {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		return g
+	}
+
+	// The smallest positive value always works (full support of a
+	// balanced matrix). Binary search the largest workable value.
+	lo, hi := 0, len(values)-1 // indices into values; lo is feasible
+	var best matrix.Permutation
+	if p := matching.HopcroftKarp(supportAtLeast(values[lo])); p.IsPerfect() {
+		best = p
+	} else {
+		return matrix.Permutation{}, fmt.Errorf("support admits no perfect matching")
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p := matching.HopcroftKarp(supportAtLeast(values[mid])); p.IsPerfect() {
+			best = p
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,50 @@
+package coflowmodel
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead ensures arbitrary JSON either fails cleanly or produces a
+// validated instance that survives a write/read round trip unchanged.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	ins := &Instance{
+		Ports: 2,
+		Coflows: []Coflow{{
+			ID: 1, Weight: 1,
+			Flows: []Flow{{Src: 0, Dst: 1, Size: 3}},
+		}},
+	}
+	if err := ins.Write(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{"ports":1,"coflows":[]}`))
+	f.Add([]byte(`{"ports":-1}`))
+	f.Add([]byte(`garbage`))
+	f.Add([]byte(`{"ports":3,"coflows":[{"id":1,"weight":2,"release":5,"flows":[{"src":2,"dst":0,"size":7}]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Accepted instances must be valid and round-trip stable.
+		if err := got.Validate(); err != nil {
+			t.Fatalf("Read returned an invalid instance: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := got.Write(&buf); err != nil {
+			t.Fatalf("Write failed: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.Ports != got.Ports || len(again.Coflows) != len(got.Coflows) ||
+			again.TotalWork() != got.TotalWork() {
+			t.Fatalf("round trip changed the instance")
+		}
+	})
+}

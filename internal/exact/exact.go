@@ -1,0 +1,256 @@
+// Package exact computes provably optimal coflow schedules for tiny
+// instances by memoized exhaustive search over remaining-demand
+// states. It exists to validate the approximation machinery: LP lower
+// bounds must sit below the optimum, Algorithm 2 must sit within its
+// proven factor, and the Appendix B counterexample (the per-prefix
+// load lower bounds V_k cannot all be achieved simultaneously) can be
+// certified mechanically.
+//
+// The search treats one time slot at a time: a transition picks a
+// matching over the support of the remaining demand and, for every
+// matched port pair, the coflow whose unit is served. Because serving
+// strictly more never delays any completion, the optimum is attained
+// among these schedules. States are memoized on the full remaining
+// demand vector; with zero release dates the value function is
+// time-invariant, which keeps the table small. Instances are accepted
+// only below hard size limits.
+package exact
+
+import (
+	"fmt"
+
+	"coflow/internal/coflowmodel"
+)
+
+// Size limits for the exhaustive search.
+const (
+	MaxPorts   = 4
+	MaxCoflows = 4
+	MaxUnits   = 26
+)
+
+// Solution is the result of an exact solve.
+type Solution struct {
+	// Total is the optimal Σ_k w_k·C_k.
+	Total float64
+	// States is the number of distinct demand states explored.
+	States int
+}
+
+type searcher struct {
+	m, n    int
+	weights []float64
+	demand  []int8 // n*m*m remaining units
+	memo    map[string]float64
+}
+
+func newSearcher(ins *coflowmodel.Instance) (*searcher, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	m, n := ins.Ports, len(ins.Coflows)
+	if m > MaxPorts {
+		return nil, fmt.Errorf("exact: %d ports exceeds limit %d", m, MaxPorts)
+	}
+	if n == 0 || n > MaxCoflows {
+		return nil, fmt.Errorf("exact: %d coflows outside 1..%d", n, MaxCoflows)
+	}
+	if total := ins.TotalWork(); total > MaxUnits {
+		return nil, fmt.Errorf("exact: %d total units exceeds limit %d", total, MaxUnits)
+	}
+	s := &searcher{
+		m: m, n: n,
+		weights: make([]float64, n),
+		demand:  make([]int8, n*m*m),
+		memo:    make(map[string]float64),
+	}
+	for k := range ins.Coflows {
+		c := &ins.Coflows[k]
+		if c.Release != 0 {
+			return nil, fmt.Errorf("exact: release dates unsupported (coflow %d released at %d)", c.ID, c.Release)
+		}
+		s.weights[k] = c.Weight
+		for _, f := range c.Flows {
+			idx := k*m*m + f.Src*m + f.Dst
+			v := int64(s.demand[idx]) + f.Size
+			if v > 127 {
+				return nil, fmt.Errorf("exact: pair demand %d exceeds 127", v)
+			}
+			s.demand[idx] = int8(v)
+		}
+	}
+	return s, nil
+}
+
+func (s *searcher) key() string { return string(unsafeBytes(s.demand)) }
+
+func unsafeBytes(d []int8) []byte {
+	b := make([]byte, len(d))
+	for i, v := range d {
+		b[i] = byte(v)
+	}
+	return b
+}
+
+// pendingWeight sums the weights of coflows with remaining demand.
+func (s *searcher) pendingWeight() float64 {
+	var w float64
+	for k := 0; k < s.n; k++ {
+		base := k * s.m * s.m
+		for idx := base; idx < base+s.m*s.m; idx++ {
+			if s.demand[idx] > 0 {
+				w += s.weights[k]
+				break
+			}
+		}
+	}
+	return w
+}
+
+// move is one slot's service decision: matched (row, col, coflow)
+// triples.
+type move struct {
+	row, col, coflow int
+}
+
+// forEachMatching enumerates every non-empty matching (with per-pair
+// coflow choice) over the support of the remaining demand, invoking
+// fn with the move list. fn must not retain the slice.
+func (s *searcher) forEachMatching(fn func([]move)) {
+	usedCol := make([]bool, s.m)
+	var cur []move
+	var rec func(row int)
+	rec = func(row int) {
+		if row == s.m {
+			if len(cur) > 0 {
+				fn(cur)
+			}
+			return
+		}
+		rec(row + 1) // leave this row idle
+		for col := 0; col < s.m; col++ {
+			if usedCol[col] {
+				continue
+			}
+			for k := 0; k < s.n; k++ {
+				if s.demand[k*s.m*s.m+row*s.m+col] > 0 {
+					usedCol[col] = true
+					cur = append(cur, move{row, col, k})
+					rec(row + 1)
+					cur = cur[:len(cur)-1]
+					usedCol[col] = false
+				}
+			}
+		}
+	}
+	rec(0)
+}
+
+func (s *searcher) apply(ms []move, delta int8) {
+	for _, mv := range ms {
+		s.demand[mv.coflow*s.m*s.m+mv.row*s.m+mv.col] += delta
+	}
+}
+
+// value returns the minimal additional weighted completion time from
+// the current state: Σ_k w_k·(C_k − t) over unfinished coflows.
+func (s *searcher) value() float64 {
+	pw := s.pendingWeight()
+	if pw == 0 {
+		return 0
+	}
+	key := s.key()
+	if v, ok := s.memo[key]; ok {
+		return v
+	}
+	best := -1.0
+	s.forEachMatching(func(ms []move) {
+		s.apply(ms, -1)
+		v := s.value()
+		s.apply(ms, +1)
+		if best < 0 || v < best {
+			best = v
+		}
+	})
+	// Every unfinished coflow pays one slot of weighted waiting.
+	best += pw
+	s.memo[key] = best
+	return best
+}
+
+// Solve returns the optimal total weighted completion time of ins.
+// All release dates must be zero and the instance must be within the
+// package's size limits.
+func Solve(ins *coflowmodel.Instance) (*Solution, error) {
+	s, err := newSearcher(ins)
+	if err != nil {
+		return nil, err
+	}
+	total := s.value()
+	return &Solution{Total: total, States: len(s.memo)}, nil
+}
+
+// FeasibleDeadlines reports whether some schedule completes every
+// coflow k by deadlines[k] (same index order as ins.Coflows). It is
+// used to certify Appendix B: the V_k lower bounds cannot always be
+// met simultaneously.
+func FeasibleDeadlines(ins *coflowmodel.Instance, deadlines []int64) (bool, error) {
+	s, err := newSearcher(ins)
+	if err != nil {
+		return false, err
+	}
+	if len(deadlines) != s.n {
+		return false, fmt.Errorf("exact: %d deadlines for %d coflows", len(deadlines), s.n)
+	}
+	var maxDL int64
+	for _, d := range deadlines {
+		if d > maxDL {
+			maxDL = d
+		}
+	}
+	memo := make(map[string]bool)
+	var feasible func(t int64) bool
+	feasible = func(t int64) bool {
+		done := true
+		for k := 0; k < s.n; k++ {
+			unfinished := false
+			base := k * s.m * s.m
+			for idx := base; idx < base+s.m*s.m; idx++ {
+				if s.demand[idx] > 0 {
+					unfinished = true
+					break
+				}
+			}
+			if unfinished {
+				done = false
+				if t >= deadlines[k] {
+					return false // cannot finish k by its deadline
+				}
+			}
+		}
+		if done {
+			return true
+		}
+		if t >= maxDL {
+			return false
+		}
+		key := fmt.Sprintf("%d|%s", t, s.key())
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		ok := false
+		s.forEachMatching(func(ms []move) {
+			if ok {
+				return
+			}
+			s.apply(ms, -1)
+			if feasible(t + 1) {
+				ok = true
+			}
+			s.apply(ms, +1)
+		})
+		memo[key] = ok
+		return ok
+	}
+	return feasible(0), nil
+}

@@ -1,0 +1,152 @@
+// Extension experiments beyond the paper's Table 1 / Figure 2: the
+// randomized algorithm of Theorem 2 (which the paper leaves
+// unevaluated, "We should also compare the performance of the
+// randomized algorithm"), the work-conserving Recompute variant, the
+// primal-dual ordering suggested by the paper's conclusion, a
+// Varys-style fluid scheduler, and online per-slot greedy policies.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"coflow/internal/coflowmodel"
+	"coflow/internal/core"
+	"coflow/internal/online"
+	"coflow/internal/primaldual"
+	"coflow/internal/trace"
+	"coflow/internal/varys"
+)
+
+// ExtensionRow is one algorithm's outcome in the extension comparison.
+type ExtensionRow struct {
+	Name       string
+	Total      float64
+	Normalized float64 // vs HLP(d)
+	Makespan   float64
+}
+
+// ExtensionReport compares the paper's algorithms with the extensions
+// on one instance.
+type ExtensionReport struct {
+	Filter       int
+	Coflows      int
+	Rows         []ExtensionRow
+	LPLowerBound float64
+	// RandomizedDraws is the number of seeds averaged for the
+	// randomized algorithm's row.
+	RandomizedDraws int
+}
+
+// RunExtensions evaluates the extension algorithms on the first
+// configured filter with random-permutation weights.
+func RunExtensions(cfg Config) (*ExtensionReport, error) {
+	if len(cfg.Filters) == 0 {
+		return nil, fmt.Errorf("experiments: no filters configured")
+	}
+	base, err := trace.Generate(cfg.Trace)
+	if err != nil {
+		return nil, err
+	}
+	ins := base.FilterMinFlows(cfg.Filters[0])
+	if len(ins.Coflows) == 0 {
+		return nil, fmt.Errorf("experiments: filter M0 >= %d leaves no coflows", cfg.Filters[0])
+	}
+	applyWeighting(ins, RandomWeights, cfg.WeightSeed)
+	return runExtensionsOn(ins, cfg.Filters[0])
+}
+
+func runExtensionsOn(ins *coflowmodel.Instance, filter int) (*ExtensionReport, error) {
+	rep := &ExtensionReport{Filter: filter, Coflows: len(ins.Coflows), RandomizedDraws: 10}
+
+	baselineRes, err := core.Schedule(ins, core.Options{
+		Ordering: core.OrderLP, Grouping: true, Backfill: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseline := baselineRes.TotalWeighted
+	rep.LPLowerBound = baselineRes.LP.LowerBound
+	add := func(name string, total, makespan float64) {
+		rep.Rows = append(rep.Rows, ExtensionRow{
+			Name: name, Total: total, Normalized: total / baseline, Makespan: makespan,
+		})
+	}
+	add("HLP(d) [paper baseline]", baseline, float64(baselineRes.Makespan))
+
+	alg2, err := core.Algorithm2(ins)
+	if err != nil {
+		return nil, err
+	}
+	add("Algorithm 2 (HLP(c), no backfill)", alg2.TotalWeighted, float64(alg2.Makespan))
+
+	rc, err := core.Schedule(ins, core.Options{
+		Ordering: core.OrderLP, Grouping: true, Backfill: true, Recompute: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	add("HLP(d) + recompute [extension]", rc.TotalWeighted, float64(rc.Makespan))
+
+	var randTotal, randMakespan float64
+	for d := 0; d < rep.RandomizedDraws; d++ {
+		r, err := core.Randomized(ins, rand.New(rand.NewSource(int64(d+1))))
+		if err != nil {
+			return nil, err
+		}
+		randTotal += r.TotalWeighted
+		randMakespan += float64(r.Makespan)
+	}
+	add(fmt.Sprintf("Randomized (Thm 2, mean of %d)", rep.RandomizedDraws),
+		randTotal/float64(rep.RandomizedDraws), randMakespan/float64(rep.RandomizedDraws))
+
+	pdRes, err := core.ExecuteOrdered(ins, primaldual.Order(ins), core.Options{
+		Grouping: true, Backfill: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	add("Primal-dual order (d) [extension]", pdRes.TotalWeighted, float64(pdRes.Makespan))
+
+	// α-point variant of the LP ordering (Skutella-style): order by
+	// where the bulk of each coflow's LP mass completes.
+	alphaOrder, err := baselineRes.LP.OrderByAlphaPoints(ins, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	alphaRes, err := core.ExecuteOrdered(ins, alphaOrder, core.Options{Grouping: true, Backfill: true})
+	if err != nil {
+		return nil, err
+	}
+	add("LP α-points (α=0.5, d) [extension]", alphaRes.TotalWeighted, float64(alphaRes.Makespan))
+
+	fl, err := varys.Simulate(ins)
+	if err != nil {
+		return nil, err
+	}
+	add("Varys-style fluid SEBF+MADD", fl.TotalWeighted, fl.Makespan)
+
+	for _, p := range []online.Policy{online.SEBF, online.WSPT, online.FIFO} {
+		or, err := online.Simulate(ins, p)
+		if err != nil {
+			return nil, err
+		}
+		add(fmt.Sprintf("Online greedy %v", p), or.TotalWeighted, float64(or.Makespan))
+	}
+	return rep, nil
+}
+
+// Format renders the extension comparison.
+func (r *ExtensionReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extensions — %d coflows (M0 >= %d), random weights, normalized to HLP(d)\n",
+		r.Coflows, r.Filter)
+	fmt.Fprintf(&b, "%-36s %14s %10s %10s\n", "algorithm", "Σ w·C", "norm", "makespan")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-36s %14.0f %10.3f %10.0f\n", row.Name, row.Total, row.Normalized, row.Makespan)
+	}
+	fmt.Fprintf(&b, "%-36s %14.0f %10.3f\n", "interval LP lower bound (Lemma 1)",
+		r.LPLowerBound, r.LPLowerBound/r.Rows[0].Total)
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunExtensions(t *testing.T) {
+	rep, err := RunExtensions(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 10 {
+		t.Fatalf("got %d rows, want 10", len(rep.Rows))
+	}
+	if rep.Rows[0].Normalized != 1.0 {
+		t.Fatalf("baseline row not 1.0: %+v", rep.Rows[0])
+	}
+	for _, row := range rep.Rows {
+		if row.Total <= 0 || row.Normalized <= 0 || row.Makespan <= 0 {
+			t.Fatalf("degenerate row %+v", row)
+		}
+		// Lower bound below every schedule.
+		if rep.LPLowerBound > row.Total+1e-6 {
+			t.Fatalf("LP bound %g above %s total %g", rep.LPLowerBound, row.Name, row.Total)
+		}
+	}
+	// Recompute never hurts relative to the literal baseline.
+	var recompute, baseline float64
+	for _, row := range rep.Rows {
+		if strings.Contains(row.Name, "recompute") {
+			recompute = row.Total
+		}
+		if strings.Contains(row.Name, "baseline") {
+			baseline = row.Total
+		}
+	}
+	if recompute == 0 || baseline == 0 {
+		t.Fatal("expected rows missing")
+	}
+	if recompute > baseline+1e-9 {
+		t.Fatalf("recompute hurt: %g > %g", recompute, baseline)
+	}
+}
+
+func TestExtensionsFormat(t *testing.T) {
+	rep, err := RunExtensions(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Format()
+	for _, want := range []string{"Extensions", "Randomized", "fluid", "Online greedy", "lower bound"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExtensionsBadConfig(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Filters = nil
+	if _, err := RunExtensions(cfg); err == nil {
+		t.Fatal("empty filters accepted")
+	}
+	cfg = tinyConfig()
+	cfg.Filters = []int{99999}
+	if _, err := RunExtensions(cfg); err == nil {
+		t.Fatal("impossible filter accepted")
+	}
+}
+
+func TestRunScaling(t *testing.T) {
+	tr := tinyConfig().Trace
+	rep, err := RunScaling(tr, []int{5, 10, 20}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(rep.Points))
+	}
+	for i, pt := range rep.Points {
+		if pt.Coflows != []int{5, 10, 20}[i] {
+			t.Fatalf("point %d has %d coflows", i, pt.Coflows)
+		}
+		if pt.LowerBound <= 0 {
+			t.Fatalf("point %d missing LP bound", i)
+		}
+		for _, name := range ScalingAlgorithms {
+			ratio := pt.Ratio(name)
+			if ratio < 1-1e-6 {
+				t.Fatalf("point %d: %s beats the LP lower bound (ratio %g)", i, name, ratio)
+			}
+			if ratio > 100 {
+				t.Fatalf("point %d: %s ratio %g implausible", i, name, ratio)
+			}
+		}
+	}
+	out := rep.Format()
+	if !strings.Contains(out, "Scaling sweep") || !strings.Contains(out, "HLP(d)") {
+		t.Fatalf("scaling format broken:\n%s", out)
+	}
+}
+
+func TestRunScalingEmptySizes(t *testing.T) {
+	if _, err := RunScaling(tinyConfig().Trace, nil, 1); err == nil {
+		t.Fatal("empty sizes accepted")
+	}
+}
+
+func TestRunArrivalSweep(t *testing.T) {
+	tr := tinyConfig().Trace
+	tr.NumCoflows = 15
+	rep, err := RunArrivalSweep(tr, []float64{0, 5, 50}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(rep.Points))
+	}
+	if rep.Points[0].MaxRelease != 0 {
+		t.Fatalf("gap 0 must release everything at 0, got max release %d", rep.Points[0].MaxRelease)
+	}
+	if rep.Points[2].MaxRelease == 0 {
+		t.Fatal("gap 50 should spread arrivals")
+	}
+	for i, pt := range rep.Points {
+		if !pt.Prop1Satisfied {
+			t.Fatalf("point %d violates Proposition 1", i)
+		}
+		for _, name := range ArrivalAlgorithms {
+			if pt.Totals[name] <= 0 {
+				t.Fatalf("point %d: missing total for %s", i, name)
+			}
+		}
+	}
+	out := rep.Format()
+	if !strings.Contains(out, "Arrival sweep") || !strings.Contains(out, "OK") {
+		t.Fatalf("format broken:\n%s", out)
+	}
+}
+
+func TestRunArrivalSweepEmpty(t *testing.T) {
+	if _, err := RunArrivalSweep(tinyConfig().Trace, nil, 1); err == nil {
+		t.Fatal("empty gaps accepted")
+	}
+}

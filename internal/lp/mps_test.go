@@ -1,0 +1,126 @@
+package lp
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMPSRoundTripSmall(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, -3)
+	p.SetObjective(1, -5)
+	p.AddConstraint([]Entry{{0, 1}}, LE, 4)
+	p.AddConstraint([]Entry{{1, 2}}, LE, 12)
+	p.AddConstraint([]Entry{{0, 3}, {1, 2}}, LE, 18)
+
+	var buf bytes.Buffer
+	if err := WriteMPS(&buf, p, "classic"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"NAME", "ROWS", "COLUMNS", "RHS", "ENDATA", "COST"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("MPS output missing %q:\n%s", want, out)
+		}
+	}
+
+	q, err := ReadMPS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solP, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solQ, err := Solve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solP.Status != Optimal || solQ.Status != Optimal {
+		t.Fatalf("statuses %v/%v", solP.Status, solQ.Status)
+	}
+	if math.Abs(solP.Objective-solQ.Objective) > 1e-9 {
+		t.Fatalf("round trip changed optimum: %g vs %g", solP.Objective, solQ.Objective)
+	}
+}
+
+func TestMPSRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 50; trial++ {
+		nVars := 1 + rng.Intn(5)
+		p := NewProblem(nVars)
+		for j := 0; j < nVars; j++ {
+			p.SetObjective(j, float64(rng.Intn(11)-5))
+		}
+		for r := 0; r < 1+rng.Intn(5); r++ {
+			var es []Entry
+			for j := 0; j < nVars; j++ {
+				if rng.Intn(2) == 0 {
+					es = append(es, Entry{j, float64(rng.Intn(9) - 4)})
+				}
+			}
+			sense := []Sense{LE, GE, EQ}[rng.Intn(3)]
+			p.AddConstraint(es, sense, float64(rng.Intn(15)))
+		}
+		// Bound everything so the LP is never unbounded.
+		var all []Entry
+		for j := 0; j < nVars; j++ {
+			all = append(all, Entry{j, 1})
+		}
+		p.AddConstraint(all, LE, 50)
+
+		var buf bytes.Buffer
+		if err := WriteMPS(&buf, p, "rt"); err != nil {
+			t.Fatal(err)
+		}
+		q, err := ReadMPS(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+		if q.NumVars() > p.NumVars() {
+			t.Fatalf("trial %d: round trip grew variables %d > %d", trial, q.NumVars(), p.NumVars())
+		}
+		solP, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solQ, err := Solve(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if solP.Status != solQ.Status {
+			t.Fatalf("trial %d: statuses differ %v vs %v", trial, solP.Status, solQ.Status)
+		}
+		if solP.Status == Optimal && math.Abs(solP.Objective-solQ.Objective) > 1e-6*(1+math.Abs(solP.Objective)) {
+			t.Fatalf("trial %d: optima differ %g vs %g", trial, solP.Objective, solQ.Objective)
+		}
+	}
+}
+
+func TestReadMPSErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"no vars":     "NAME x\nROWS\n N COST\nENDATA\n",
+		"bad row":     "NAME x\nROWS\n Q r1\nENDATA\n",
+		"unknown row": "NAME x\nROWS\n N COST\nCOLUMNS\n    x0 nope 1\nENDATA\n",
+		"bad coef":    "NAME x\nROWS\n N COST\n L r1\nCOLUMNS\n    x0 r1 zz\nENDATA\n",
+		"bounds":      "NAME x\nROWS\n N COST\nBOUNDS\n UP BND x0 3\nENDATA\n",
+		"bad section": "NAME x\nWEIRD\n junk\nENDATA\n",
+		"ragged line": "NAME x\nROWS\n N COST\n L r1\nCOLUMNS\n    x0 r1\nENDATA\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMPS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteMPSNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMPS(&buf, nil, "x"); err == nil {
+		t.Fatal("nil problem accepted")
+	}
+}

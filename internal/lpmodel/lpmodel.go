@@ -1,0 +1,492 @@
+// Package lpmodel builds and solves the paper's linear programming
+// relaxations of the coflow scheduling problem (O):
+//
+//   - the interval-indexed (LP) of §2.1, polynomial-sized, used both
+//     as a lower bound (Lemma 1) and to derive the coflow ordering
+//     (15) via the approximated completion times C̄_k (Eq. 14); and
+//   - the time-indexed (LP-EXP), pseudo-polynomial, used as a tighter
+//     lower bound on small instances (§4.2).
+//
+// It also computes the maximum total input/output loads V_k (Eq. 16)
+// with respect to an ordering, the quantity driving the grouping step
+// of Algorithm 2 and the approximation guarantees (Lemmas 2 and 3).
+package lpmodel
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"coflow/internal/coflowmodel"
+	"coflow/internal/lp"
+)
+
+// Intervals returns the paper's geometric time points for horizon T:
+// τ_0 = 0 and τ_l = 2^(l−1) for l = 1..L, where L is the smallest
+// integer with 2^(L−1) ≥ T. The l-th interval is (τ_{l−1}, τ_l].
+func Intervals(T int64) []int64 {
+	if T < 1 {
+		T = 1
+	}
+	tau := []int64{0, 1}
+	for tau[len(tau)-1] < T {
+		tau = append(tau, tau[len(tau)-1]*2)
+	}
+	return tau
+}
+
+// IntervalIndex returns the smallest l ≥ 1 with v ≤ τ_l, i.e. the
+// index of the interval (τ_{l−1}, τ_l] containing v ≥ 1. It panics if
+// v exceeds the horizon covered by tau.
+func IntervalIndex(tau []int64, v int64) int {
+	if v < 1 {
+		return 1
+	}
+	idx := sort.Search(len(tau), func(l int) bool { return tau[l] >= v })
+	if idx >= len(tau) {
+		panic(fmt.Sprintf("lpmodel: value %d beyond horizon τ_L=%d", v, tau[len(tau)-1]))
+	}
+	if idx == 0 {
+		idx = 1
+	}
+	return idx
+}
+
+// IntervalSolution is the outcome of solving the interval-indexed LP.
+type IntervalSolution struct {
+	// Tau are the interval endpoints used (τ_0..τ_L).
+	Tau []int64
+	// CBar[k] is the approximated completion time of ins.Coflows[k]
+	// (Eq. 14): Σ_l τ_{l−1}·x̄_l^(k).
+	CBar []float64
+	// X[k][l] is the optimal x̄_l^(k) (l indexes 1..L; X[k][0] unused).
+	X [][]float64
+	// LowerBound is the LP objective value, a lower bound on the
+	// optimal total weighted completion time (Lemma 1).
+	LowerBound float64
+	// Order lists coflow indices sorted by nondecreasing C̄ (the
+	// paper's ordering (15)), ties broken by coflow ID.
+	Order []int
+	// Iterations is the total simplex iteration count.
+	Iterations int
+	// Vars and Rows describe the solved LP's size.
+	Vars, Rows int
+}
+
+// intervalModel carries the structural data of one built interval LP.
+type intervalModel struct {
+	prob   *lp.Problem
+	tau    []int64
+	lMin   []int
+	varIdx [][]int
+}
+
+// buildIntervalLP constructs the interval-indexed relaxation without
+// solving it.
+func buildIntervalLP(ins *coflowmodel.Instance) (*intervalModel, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(ins.Coflows)
+	if n == 0 {
+		return nil, fmt.Errorf("lpmodel: empty instance")
+	}
+	m := ins.Ports
+	tau := Intervals(ins.Horizon())
+	L := len(tau) - 1
+
+	// Per-coflow port loads and first feasible interval (13):
+	// x_l^(k) = 0 unless τ_l ≥ r_k + every port load of coflow k,
+	// i.e. τ_l ≥ r_k + ρ_k.
+	rowLoad := make([][]int64, n)
+	colLoad := make([][]int64, n)
+	lMin := make([]int, n)
+	for k := range ins.Coflows {
+		c := &ins.Coflows[k]
+		rowLoad[k] = c.RowLoads(m)
+		colLoad[k] = c.ColLoads(m)
+		need := c.Release + c.Load(m)
+		if need < 1 {
+			need = 1 // an empty coflow still completes in interval 1
+		}
+		lMin[k] = IntervalIndex(tau, need)
+	}
+
+	// Variable numbering: x_l^(k) for l = lMin[k]..L.
+	varIdx := make([][]int, n)
+	numVars := 0
+	for k := 0; k < n; k++ {
+		varIdx[k] = make([]int, L+1)
+		for l := 0; l <= L; l++ {
+			varIdx[k][l] = -1
+		}
+		for l := lMin[k]; l <= L; l++ {
+			varIdx[k][l] = numVars
+			numVars++
+		}
+	}
+
+	prob := lp.NewProblem(numVars)
+	for k := 0; k < n; k++ {
+		w := ins.Coflows[k].Weight
+		for l := lMin[k]; l <= L; l++ {
+			prob.SetObjective(varIdx[k][l], w*float64(tau[l-1]))
+		}
+	}
+
+	// Convexity rows: Σ_l x_l^(k) = 1.
+	for k := 0; k < n; k++ {
+		entries := make([]lp.Entry, 0, L-lMin[k]+1)
+		for l := lMin[k]; l <= L; l++ {
+			entries = append(entries, lp.Entry{Var: varIdx[k][l], Coef: 1})
+		}
+		prob.AddConstraint(entries, lp.EQ, 1)
+	}
+
+	// Load rows (11)/(12): for each port and interval l,
+	// Σ_{u≤l} Σ_k load·x_u^(k) ≤ τ_l. Rows that cannot bind (total
+	// feasible load ≤ τ_l) are pruned.
+	addLoadRows := func(load [][]int64) {
+		for port := 0; port < m; port++ {
+			var total int64
+			for k := 0; k < n; k++ {
+				total += load[k][port]
+			}
+			if total == 0 {
+				continue
+			}
+			for l := 1; l <= L; l++ {
+				if total <= tau[l] {
+					break // all longer intervals are slack too
+				}
+				var entries []lp.Entry
+				for k := 0; k < n; k++ {
+					if load[k][port] == 0 {
+						continue
+					}
+					for u := lMin[k]; u <= l; u++ {
+						entries = append(entries, lp.Entry{Var: varIdx[k][u], Coef: float64(load[k][port])})
+					}
+				}
+				if len(entries) > 0 {
+					prob.AddConstraint(entries, lp.LE, float64(tau[l]))
+				}
+			}
+		}
+	}
+	addLoadRows(rowLoad)
+	addLoadRows(colLoad)
+	return &intervalModel{prob: prob, tau: tau, lMin: lMin, varIdx: varIdx}, nil
+}
+
+// WriteIntervalLPMPS writes the instance's interval-indexed relaxation
+// in MPS format for cross-checking with external LP solvers.
+func WriteIntervalLPMPS(w io.Writer, ins *coflowmodel.Instance, name string) error {
+	model, err := buildIntervalLP(ins)
+	if err != nil {
+		return err
+	}
+	return lp.WriteMPS(w, model.prob, name)
+}
+
+// SolveIntervalLP builds and solves the interval-indexed relaxation
+// (LP) for ins. The instance must be valid and non-empty.
+func SolveIntervalLP(ins *coflowmodel.Instance) (*IntervalSolution, error) {
+	model, err := buildIntervalLP(ins)
+	if err != nil {
+		return nil, err
+	}
+	n := len(ins.Coflows)
+	prob, tau, lMin, varIdx := model.prob, model.tau, model.lMin, model.varIdx
+	L := len(tau) - 1
+	numVars := prob.NumVars()
+
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("lpmodel: interval LP not optimal: %v", sol.Status)
+	}
+	// Numerical insurance: the solution the orderings and lower bound
+	// are built from must actually satisfy the relaxation.
+	if err := lp.CheckFeasible(prob, sol.X, 1e-5); err != nil {
+		return nil, fmt.Errorf("lpmodel: interval LP solution failed verification: %w", err)
+	}
+
+	out := &IntervalSolution{
+		Tau:        tau,
+		CBar:       make([]float64, n),
+		X:          make([][]float64, n),
+		LowerBound: sol.Objective,
+		Iterations: sol.Iterations,
+		Vars:       numVars,
+		Rows:       prob.NumConstraints(),
+	}
+	for k := 0; k < n; k++ {
+		out.X[k] = make([]float64, L+1)
+		for l := lMin[k]; l <= L; l++ {
+			x := sol.X[varIdx[k][l]]
+			if x < 0 {
+				x = 0
+			}
+			out.X[k][l] = x
+			out.CBar[k] += float64(tau[l-1]) * x
+		}
+	}
+	out.Order = OrderByCBar(ins, out.CBar)
+	return out, nil
+}
+
+// AlphaPoints returns, per coflow, the α-point of the LP solution: the
+// left endpoint τ_{l−1} of the first interval by which a cumulative
+// x-mass of at least α has been scheduled. α-point orderings are the
+// classic alternative to mean-completion-time orderings in
+// LP-rounding scheduling (Skutella; Hall–Schulz–Shmoys–Wein, both
+// cited by the paper): α near 1 orders by where the *bulk* of a coflow
+// finishes rather than its average. α must lie in (0, 1].
+func (s *IntervalSolution) AlphaPoints(alpha float64) ([]float64, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("lpmodel: alpha %g outside (0,1]", alpha)
+	}
+	out := make([]float64, len(s.X))
+	for k, xs := range s.X {
+		mass := 0.0
+		point := float64(s.Tau[len(s.Tau)-1]) // fallback: horizon
+		for l := 1; l < len(xs); l++ {
+			mass += xs[l]
+			if mass >= alpha-1e-9 {
+				point = float64(s.Tau[l-1])
+				break
+			}
+		}
+		out[k] = point
+	}
+	return out, nil
+}
+
+// OrderByAlphaPoints orders coflows by nondecreasing α-points, ties by
+// C̄ then ID.
+func (s *IntervalSolution) OrderByAlphaPoints(ins *coflowmodel.Instance, alpha float64) ([]int, error) {
+	pts, err := s.AlphaPoints(alpha)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka, kb := order[a], order[b]
+		if pts[ka] != pts[kb] {
+			return pts[ka] < pts[kb]
+		}
+		if math.Abs(s.CBar[ka]-s.CBar[kb]) > 1e-12 {
+			return s.CBar[ka] < s.CBar[kb]
+		}
+		return ins.Coflows[ka].ID < ins.Coflows[kb].ID
+	})
+	return order, nil
+}
+
+// OrderByCBar returns coflow indices sorted by nondecreasing C̄, ties
+// broken by coflow ID (deterministic reproduction of ordering (15)).
+func OrderByCBar(ins *coflowmodel.Instance, cbar []float64) []int {
+	order := make([]int, len(cbar))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka, kb := order[a], order[b]
+		if math.Abs(cbar[ka]-cbar[kb]) > 1e-12 {
+			return cbar[ka] < cbar[kb]
+		}
+		return ins.Coflows[ka].ID < ins.Coflows[kb].ID
+	})
+	return order
+}
+
+// MaxTotalLoads computes V_k (Eq. 16) for each prefix of the given
+// ordering: V[pos] is the maximum, over all ports, of the cumulative
+// load of coflows order[0..pos]. Every V[pos] is a lower bound on the
+// time needed to finish those coflows under any schedule (Lemma 2).
+func MaxTotalLoads(ins *coflowmodel.Instance, order []int) []int64 {
+	m := ins.Ports
+	rows := make([]int64, m)
+	cols := make([]int64, m)
+	out := make([]int64, len(order))
+	var cur int64
+	for pos, k := range order {
+		for _, f := range ins.Coflows[k].Flows {
+			rows[f.Src] += f.Size
+			cols[f.Dst] += f.Size
+			if rows[f.Src] > cur {
+				cur = rows[f.Src]
+			}
+			if cols[f.Dst] > cur {
+				cur = cols[f.Dst]
+			}
+		}
+		out[pos] = cur
+	}
+	return out
+}
+
+// TimeIndexedSolution is the outcome of solving (LP-EXP).
+type TimeIndexedSolution struct {
+	// CBar[k] = Σ_t t·z̄_t^(k), the relaxed completion time.
+	CBar []float64
+	// LowerBound is the LP-EXP objective value: a lower bound on the
+	// optimum that is at least as tight as the interval LP's.
+	LowerBound float64
+	// Iterations is the simplex iteration count.
+	Iterations int
+	// Vars and Rows describe the solved LP's size.
+	Vars, Rows int
+}
+
+// MaxTimeIndexedVars and MaxTimeIndexedHorizon bound the size of
+// (LP-EXP) instances this implementation accepts; beyond them the
+// dense simplex would be impractically slow (the paper itself calls
+// LP-EXP "extremely time consuming to solve").
+const (
+	MaxTimeIndexedVars    = 20000
+	MaxTimeIndexedHorizon = 50000
+)
+
+// SolveTimeIndexedLP builds and solves the time-indexed relaxation
+// (LP-EXP). It returns an error if the instance's horizon makes the
+// program larger than MaxTimeIndexedVars variables.
+func SolveTimeIndexedLP(ins *coflowmodel.Instance) (*TimeIndexedSolution, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(ins.Coflows)
+	if n == 0 {
+		return nil, fmt.Errorf("lpmodel: empty instance")
+	}
+	m := ins.Ports
+	T := ins.Horizon()
+	if T < 1 {
+		T = 1
+	}
+	if T > MaxTimeIndexedHorizon {
+		return nil, fmt.Errorf("lpmodel: LP-EXP horizon %d exceeds limit %d; use SolveIntervalLP",
+			T, MaxTimeIndexedHorizon)
+	}
+
+	rowLoad := make([][]int64, n)
+	colLoad := make([][]int64, n)
+	tMin := make([]int64, n)
+	numVars := 0
+	for k := range ins.Coflows {
+		c := &ins.Coflows[k]
+		rowLoad[k] = c.RowLoads(m)
+		colLoad[k] = c.ColLoads(m)
+		tMin[k] = c.Release + c.Load(m)
+		if tMin[k] < 1 {
+			tMin[k] = 1
+		}
+		numVars += int(T - tMin[k] + 1)
+	}
+	if numVars > MaxTimeIndexedVars {
+		return nil, fmt.Errorf("lpmodel: LP-EXP would need %d variables (limit %d); use SolveIntervalLP",
+			numVars, MaxTimeIndexedVars)
+	}
+
+	// Variable numbering: z_t^(k) for t = tMin[k]..T.
+	varIdx := make([][]int, n)
+	idx := 0
+	for k := 0; k < n; k++ {
+		varIdx[k] = make([]int, T+1)
+		for t := int64(0); t <= T; t++ {
+			varIdx[k][t] = -1
+		}
+		for t := tMin[k]; t <= T; t++ {
+			varIdx[k][t] = idx
+			idx++
+		}
+	}
+
+	prob := lp.NewProblem(numVars)
+	for k := 0; k < n; k++ {
+		w := ins.Coflows[k].Weight
+		for t := tMin[k]; t <= T; t++ {
+			prob.SetObjective(varIdx[k][t], w*float64(t))
+		}
+	}
+	for k := 0; k < n; k++ {
+		var entries []lp.Entry
+		for t := tMin[k]; t <= T; t++ {
+			entries = append(entries, lp.Entry{Var: varIdx[k][t], Coef: 1})
+		}
+		prob.AddConstraint(entries, lp.EQ, 1)
+	}
+	addLoadRows := func(load [][]int64) {
+		for port := 0; port < m; port++ {
+			var total int64
+			for k := 0; k < n; k++ {
+				total += load[k][port]
+			}
+			if total == 0 {
+				continue
+			}
+			for t := int64(1); t <= T; t++ {
+				if total <= t {
+					break
+				}
+				var entries []lp.Entry
+				for k := 0; k < n; k++ {
+					if load[k][port] == 0 {
+						continue
+					}
+					for s := tMin[k]; s <= t; s++ {
+						entries = append(entries, lp.Entry{Var: varIdx[k][s], Coef: float64(load[k][port])})
+					}
+				}
+				if len(entries) > 0 {
+					prob.AddConstraint(entries, lp.LE, float64(t))
+				}
+			}
+		}
+	}
+	addLoadRows(rowLoad)
+	addLoadRows(colLoad)
+
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("lpmodel: LP-EXP not optimal: %v", sol.Status)
+	}
+	if err := lp.CheckFeasible(prob, sol.X, 1e-5); err != nil {
+		return nil, fmt.Errorf("lpmodel: LP-EXP solution failed verification: %w", err)
+	}
+	out := &TimeIndexedSolution{
+		CBar:       make([]float64, n),
+		LowerBound: sol.Objective,
+		Iterations: sol.Iterations,
+		Vars:       numVars,
+		Rows:       prob.NumConstraints(),
+	}
+	for k := 0; k < n; k++ {
+		for t := tMin[k]; t <= T; t++ {
+			out.CBar[k] += float64(t) * sol.X[varIdx[k][t]]
+		}
+	}
+	return out, nil
+}
+
+// TrivialLowerBound returns Σ_k w_k·(r_k + ρ_k): every coflow needs at
+// least its own load after release, regardless of contention. Weaker
+// than the LP bounds but free; useful as a sanity floor.
+func TrivialLowerBound(ins *coflowmodel.Instance) float64 {
+	var lb float64
+	for k := range ins.Coflows {
+		c := &ins.Coflows[k]
+		lb += c.Weight * float64(c.Release+c.Load(ins.Ports))
+	}
+	return lb
+}

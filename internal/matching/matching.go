@@ -1,0 +1,185 @@
+// Package matching implements bipartite maximum matching, the
+// combinatorial substrate of the Birkhoff–von Neumann decomposition
+// (paper §3.1, Algorithm 1 step 2).
+//
+// The central routine is Hopcroft–Karp, which finds a maximum matching
+// in O(E·√V). PerfectOnSupport specializes it to the support graph of
+// a non-negative matrix whose row and column sums are all equal; Hall's
+// theorem guarantees a perfect matching exists there, and the function
+// reports an error if the caller violated that precondition.
+package matching
+
+import (
+	"fmt"
+
+	"coflow/internal/matrix"
+)
+
+// Graph is a bipartite graph with n left vertices and n right
+// vertices; Adj[u] lists the right-neighbours of left vertex u.
+type Graph struct {
+	N   int
+	Adj [][]int
+}
+
+// NewGraph returns an empty bipartite graph on n+n vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{N: n, Adj: make([][]int, n)}
+}
+
+// AddEdge adds an edge from left vertex u to right vertex v.
+func (g *Graph) AddEdge(u, v int) {
+	g.Adj[u] = append(g.Adj[u], v)
+}
+
+// SupportGraph returns the bipartite graph whose edges are the
+// strictly positive entries of d (rows are left vertices, columns are
+// right vertices). d must be square.
+func SupportGraph(d *matrix.Matrix) *Graph {
+	if d.Rows() != d.Cols() {
+		panic(fmt.Sprintf("matching: SupportGraph needs a square matrix, got %d×%d", d.Rows(), d.Cols()))
+	}
+	g := NewGraph(d.Rows())
+	for i := 0; i < d.Rows(); i++ {
+		for j := 0; j < d.Cols(); j++ {
+			if d.At(i, j) > 0 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+const infDist = int(^uint(0) >> 1)
+
+// HopcroftKarp computes a maximum matching of g. The result maps each
+// left vertex to its matched right vertex, or matrix.Unmatched.
+func HopcroftKarp(g *Graph) matrix.Permutation {
+	n := g.N
+	matchL := make([]int, n) // left -> right
+	matchR := make([]int, n) // right -> left
+	for i := range matchL {
+		matchL[i] = matrix.Unmatched
+		matchR[i] = matrix.Unmatched
+	}
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < n; u++ {
+			if matchL[u] == matrix.Unmatched {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = infDist
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, v := range g.Adj[u] {
+				w := matchR[v]
+				if w == matrix.Unmatched {
+					found = true
+				} else if dist[w] == infDist {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range g.Adj[u] {
+			w := matchR[v]
+			if w == matrix.Unmatched || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = infDist
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < n; u++ {
+			if matchL[u] == matrix.Unmatched {
+				dfs(u)
+			}
+		}
+	}
+	return matrix.Permutation{To: matchL}
+}
+
+// MaxMatchingSize returns the cardinality of a maximum matching of g.
+func MaxMatchingSize(g *Graph) int {
+	return HopcroftKarp(g).Size()
+}
+
+// PerfectOnSupport finds a perfect matching on the support of d. The
+// caller must ensure one exists — in Algorithm 1 this follows from
+// Hall's theorem because every row and column of the augmented matrix
+// sums to ρ > 0. A non-nil error means the precondition was violated.
+func PerfectOnSupport(d *matrix.Matrix) (matrix.Permutation, error) {
+	p := HopcroftKarp(SupportGraph(d))
+	if !p.IsPerfect() {
+		return matrix.Permutation{}, fmt.Errorf("matching: support of %d×%d matrix admits no perfect matching (matched %d of %d rows)",
+			d.Rows(), d.Cols(), p.Size(), d.Rows())
+	}
+	return p, nil
+}
+
+// BruteForceMaxMatching computes a maximum matching by exhaustive
+// search. Exponential; only for cross-checking Hopcroft–Karp in tests
+// (n ≤ ~10).
+func BruteForceMaxMatching(g *Graph) int {
+	usedR := make([]bool, g.N)
+	var rec func(u int) int
+	rec = func(u int) int {
+		if u == g.N {
+			return 0
+		}
+		best := rec(u + 1) // leave u unmatched
+		for _, v := range g.Adj[u] {
+			if !usedR[v] {
+				usedR[v] = true
+				if got := 1 + rec(u+1); got > best {
+					best = got
+				}
+				usedR[v] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+// HallViolator returns a subset of left vertices S with |N(S)| < |S|
+// if one exists (certifying that no perfect matching exists), or nil.
+// Exponential; for tests and diagnostics on small graphs.
+func HallViolator(g *Graph) []int {
+	n := g.N
+	if n > 20 {
+		panic("matching: HallViolator limited to n <= 20")
+	}
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var s []int
+		nb := make(map[int]bool)
+		for u := 0; u < n; u++ {
+			if mask&(1<<uint(u)) != 0 {
+				s = append(s, u)
+				for _, v := range g.Adj[u] {
+					nb[v] = true
+				}
+			}
+		}
+		if len(nb) < len(s) {
+			return s
+		}
+	}
+	return nil
+}

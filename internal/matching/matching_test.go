@@ -1,0 +1,236 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coflow/internal/matrix"
+)
+
+func TestHopcroftKarpTrivial(t *testing.T) {
+	g := NewGraph(1)
+	g.AddEdge(0, 0)
+	p := HopcroftKarp(g)
+	if !p.IsPerfect() {
+		t.Fatalf("single edge not matched: %+v", p)
+	}
+}
+
+func TestHopcroftKarpNoEdges(t *testing.T) {
+	g := NewGraph(3)
+	p := HopcroftKarp(g)
+	if p.Size() != 0 {
+		t.Fatalf("matching on empty graph has size %d", p.Size())
+	}
+}
+
+func TestHopcroftKarpPerfectCycle(t *testing.T) {
+	// 0-1, 1-2, 2-0 plus identity edges: perfect matching exists.
+	g := NewGraph(3)
+	for i := 0; i < 3; i++ {
+		g.AddEdge(i, i)
+		g.AddEdge(i, (i+1)%3)
+	}
+	p := HopcroftKarp(g)
+	if !p.IsPerfect() {
+		t.Fatalf("expected perfect matching, got %+v", p)
+	}
+}
+
+func TestHopcroftKarpHallViolation(t *testing.T) {
+	// Left {0,1} both only connect to right 0: max matching is 2 via…
+	// no — it is 1. Vertex 2 connects everywhere.
+	g := NewGraph(3)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 1)
+	g.AddEdge(2, 2)
+	p := HopcroftKarp(g)
+	if p.Size() != 2 {
+		t.Fatalf("max matching size = %d, want 2", p.Size())
+	}
+	if !p.IsValid() {
+		t.Fatalf("invalid matching %+v", p)
+	}
+	if HallViolator(g) == nil {
+		t.Fatal("expected a Hall violator")
+	}
+}
+
+func TestHopcroftKarpAugmentingPath(t *testing.T) {
+	// Classic case requiring an augmenting path of length 3:
+	// 0: {0}, 1: {0,1}. Greedy may match 1-0 first.
+	g := NewGraph(2)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 1)
+	g.AddEdge(0, 0)
+	p := HopcroftKarp(g)
+	if !p.IsPerfect() {
+		t.Fatalf("expected perfect matching, got %+v", p)
+	}
+	if p.To[0] != 0 || p.To[1] != 1 {
+		t.Fatalf("expected 0->0, 1->1, got %+v", p)
+	}
+}
+
+func randomGraph(rng *rand.Rand, n int, pEdge float64) *Graph {
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if rng.Float64() < pEdge {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func TestHopcroftKarpMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(7)
+		g := randomGraph(rng, n, 0.1+0.8*rng.Float64())
+		want := BruteForceMaxMatching(g)
+		p := HopcroftKarp(g)
+		if !p.IsValid() {
+			t.Fatalf("trial %d: invalid matching %+v", trial, p)
+		}
+		if p.Size() != want {
+			t.Fatalf("trial %d: HK size %d, brute force %d (n=%d adj=%v)",
+				trial, p.Size(), want, n, g.Adj)
+		}
+	}
+}
+
+func TestHopcroftKarpRespectsEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		g := randomGraph(r, n, 0.5)
+		has := make(map[[2]int]bool)
+		for u, vs := range g.Adj {
+			for _, v := range vs {
+				has[[2]int{u, v}] = true
+			}
+		}
+		p := HopcroftKarp(g)
+		for u, v := range p.To {
+			if v != matrix.Unmatched && !has[[2]int{u, v}] {
+				return false
+			}
+		}
+		return p.IsValid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSupportGraph(t *testing.T) {
+	d := matrix.MustFromRows([][]int64{
+		{0, 5},
+		{3, 0},
+	})
+	g := SupportGraph(d)
+	if len(g.Adj[0]) != 1 || g.Adj[0][0] != 1 {
+		t.Fatalf("row 0 adjacency wrong: %v", g.Adj[0])
+	}
+	if len(g.Adj[1]) != 1 || g.Adj[1][0] != 0 {
+		t.Fatalf("row 1 adjacency wrong: %v", g.Adj[1])
+	}
+}
+
+func TestSupportGraphPanicsNonSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SupportGraph on non-square did not panic")
+		}
+	}()
+	SupportGraph(matrix.New(2, 3))
+}
+
+func TestPerfectOnSupportDoublyStochastic(t *testing.T) {
+	// All row/col sums equal 3 → perfect matching must exist.
+	d := matrix.MustFromRows([][]int64{
+		{1, 2, 0},
+		{2, 0, 1},
+		{0, 1, 2},
+	})
+	p, err := PerfectOnSupport(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsPerfect() {
+		t.Fatalf("not perfect: %+v", p)
+	}
+	for i, j := range p.To {
+		if d.At(i, j) == 0 {
+			t.Fatalf("matched a zero entry (%d,%d)", i, j)
+		}
+	}
+}
+
+func TestPerfectOnSupportFailure(t *testing.T) {
+	d := matrix.MustFromRows([][]int64{
+		{1, 0},
+		{1, 0},
+	})
+	if _, err := PerfectOnSupport(d); err == nil {
+		t.Fatal("expected error when no perfect matching exists")
+	}
+}
+
+// Property: on any matrix with all row and column sums equal and
+// positive, the support admits a perfect matching (Hall via the
+// Birkhoff–von Neumann argument). This is the precondition Algorithm 1
+// relies on after augmentation.
+func TestPerfectMatchingOnBalancedMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		// Build a balanced matrix as a sum of random permutation
+		// matrices with random multiplicities.
+		d := matrix.NewSquare(n)
+		perms := 1 + rng.Intn(4)
+		for p := 0; p < perms; p++ {
+			perm := rng.Perm(n)
+			q := int64(1 + rng.Intn(5))
+			for i, j := range perm {
+				d.Add(i, j, q)
+			}
+		}
+		if _, err := PerfectOnSupport(d); err != nil {
+			t.Fatalf("trial %d: %v (matrix %v)", trial, err, d)
+		}
+	}
+}
+
+func TestMaxMatchingSize(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 0)
+	if got := MaxMatchingSize(g); got != 1 {
+		t.Fatalf("MaxMatchingSize = %d, want 1", got)
+	}
+}
+
+func TestHallViolatorNilWhenPerfect(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 1)
+	if v := HallViolator(g); v != nil {
+		t.Fatalf("unexpected violator %v", v)
+	}
+}
+
+func BenchmarkHopcroftKarpDense150(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 150, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HopcroftKarp(g)
+	}
+}

@@ -1,0 +1,253 @@
+// Package openshop implements the concurrent open shop scheduling
+// substrate of Appendix A. Coflow scheduling restricted to diagonal
+// demand matrices is exactly concurrent open shop: machine i of the
+// shop is port pair (i,i) of the switch, and because diagonal pairs
+// never conflict in a matching, all machines can run simultaneously.
+//
+// The package provides the instance type, the embedding into (and
+// extraction from) coflow instances, permutation list scheduling
+// (optimal among schedules with a fixed order — Ahmadi et al.),
+// brute-force optimal permutations for tiny instances, and the
+// Wang–Cheng-style interval-indexed LP ordering the paper builds on.
+package openshop
+
+import (
+	"fmt"
+	"sort"
+
+	"coflow/internal/coflowmodel"
+	"coflow/internal/lpmodel"
+)
+
+// Job is one customer order: Proc[i] units of work on machine i, all
+// of which must finish for the job to complete.
+type Job struct {
+	ID      int
+	Weight  float64
+	Release int64
+	Proc    []int64
+}
+
+// Instance is a concurrent open shop problem.
+type Instance struct {
+	Machines int
+	Jobs     []Job
+}
+
+// Validate checks structural soundness.
+func (ins *Instance) Validate() error {
+	if ins.Machines <= 0 {
+		return fmt.Errorf("openshop: non-positive machine count %d", ins.Machines)
+	}
+	ids := map[int]bool{}
+	for _, j := range ins.Jobs {
+		if ids[j.ID] {
+			return fmt.Errorf("openshop: duplicate job ID %d", j.ID)
+		}
+		ids[j.ID] = true
+		if j.Weight <= 0 {
+			return fmt.Errorf("openshop: job %d has non-positive weight", j.ID)
+		}
+		if j.Release < 0 {
+			return fmt.Errorf("openshop: job %d has negative release", j.ID)
+		}
+		if len(j.Proc) != ins.Machines {
+			return fmt.Errorf("openshop: job %d has %d machine times, want %d", j.ID, len(j.Proc), ins.Machines)
+		}
+		for i, p := range j.Proc {
+			if p < 0 {
+				return fmt.Errorf("openshop: job %d has negative time %d on machine %d", j.ID, p, i)
+			}
+		}
+	}
+	return nil
+}
+
+// ToCoflowInstance embeds the shop as a coflow instance with diagonal
+// demand matrices (Appendix A).
+func (ins *Instance) ToCoflowInstance() *coflowmodel.Instance {
+	out := &coflowmodel.Instance{Ports: ins.Machines}
+	for _, j := range ins.Jobs {
+		c := coflowmodel.Coflow{ID: j.ID, Weight: j.Weight, Release: j.Release}
+		for i, p := range j.Proc {
+			if p > 0 {
+				c.Flows = append(c.Flows, coflowmodel.Flow{Src: i, Dst: i, Size: p})
+			}
+		}
+		out.Coflows = append(out.Coflows, c)
+	}
+	return out
+}
+
+// FromCoflowInstance extracts a shop from a coflow instance whose
+// demand matrices are all diagonal; it errors otherwise.
+func FromCoflowInstance(cins *coflowmodel.Instance) (*Instance, error) {
+	if err := cins.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Instance{Machines: cins.Ports}
+	for k := range cins.Coflows {
+		c := &cins.Coflows[k]
+		j := Job{ID: c.ID, Weight: c.Weight, Release: c.Release, Proc: make([]int64, cins.Ports)}
+		for _, f := range c.Flows {
+			if f.Src != f.Dst {
+				return nil, fmt.Errorf("openshop: coflow %d has off-diagonal flow (%d→%d)", c.ID, f.Src, f.Dst)
+			}
+			j.Proc[f.Src] += f.Size
+		}
+		out.Jobs = append(out.Jobs, j)
+	}
+	return out, nil
+}
+
+// ScheduleByOrder list-schedules jobs in the given order (indices into
+// ins.Jobs): every machine processes jobs in that common order,
+// work-conserving with respect to release dates, and a job completes
+// when its last machine finishes it. This is optimal among schedules
+// honouring the order on all machines.
+func ScheduleByOrder(ins *Instance, order []int) ([]int64, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	if len(order) != len(ins.Jobs) {
+		return nil, fmt.Errorf("openshop: order has %d entries, instance has %d jobs", len(order), len(ins.Jobs))
+	}
+	seen := make([]bool, len(ins.Jobs))
+	for _, k := range order {
+		if k < 0 || k >= len(ins.Jobs) || seen[k] {
+			return nil, fmt.Errorf("openshop: order is not a permutation")
+		}
+		seen[k] = true
+	}
+	machineFree := make([]int64, ins.Machines)
+	completion := make([]int64, len(ins.Jobs))
+	for _, k := range order {
+		j := &ins.Jobs[k]
+		c := j.Release
+		for i, p := range j.Proc {
+			if p == 0 {
+				continue
+			}
+			start := machineFree[i]
+			if j.Release > start {
+				start = j.Release
+			}
+			machineFree[i] = start + p
+			if machineFree[i] > c {
+				c = machineFree[i]
+			}
+		}
+		completion[k] = c
+	}
+	return completion, nil
+}
+
+// TotalWeighted sums w_j·C_j.
+func (ins *Instance) TotalWeighted(completion []int64) float64 {
+	var s float64
+	for k := range ins.Jobs {
+		s += ins.Jobs[k].Weight * float64(completion[k])
+	}
+	return s
+}
+
+// SWPTOrder orders jobs by nondecreasing (total processing)/weight —
+// the shop analogue of H_ρ uses the bottleneck machine instead; both
+// are provided.
+func SWPTOrder(ins *Instance) []int {
+	key := make([]float64, len(ins.Jobs))
+	for k, j := range ins.Jobs {
+		var tot int64
+		for _, p := range j.Proc {
+			tot += p
+		}
+		key[k] = float64(tot) / j.Weight
+	}
+	return orderByKey(ins, key)
+}
+
+// BottleneckOrder orders jobs by nondecreasing (max machine load)/weight,
+// matching H_ρ on the diagonal embedding.
+func BottleneckOrder(ins *Instance) []int {
+	key := make([]float64, len(ins.Jobs))
+	for k, j := range ins.Jobs {
+		var mx int64
+		for _, p := range j.Proc {
+			if p > mx {
+				mx = p
+			}
+		}
+		key[k] = float64(mx) / j.Weight
+	}
+	return orderByKey(ins, key)
+}
+
+func orderByKey(ins *Instance, key []float64) []int {
+	order := make([]int, len(ins.Jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if key[order[a]] != key[order[b]] {
+			return key[order[a]] < key[order[b]]
+		}
+		return ins.Jobs[order[a]].ID < ins.Jobs[order[b]].ID
+	})
+	return order
+}
+
+// LPOrder derives the Wang–Cheng-style interval-indexed LP ordering by
+// solving the coflow interval LP on the diagonal embedding.
+func LPOrder(ins *Instance) ([]int, error) {
+	sol, err := lpmodel.SolveIntervalLP(ins.ToCoflowInstance())
+	if err != nil {
+		return nil, err
+	}
+	return sol.Order, nil
+}
+
+// MaxPermutationJobs caps BestPermutation's n! search.
+const MaxPermutationJobs = 8
+
+// BestPermutation exhaustively searches all job orders and returns the
+// best (order, completions, total). For concurrent open shop an
+// optimal permutation schedule exists (Ahmadi et al.), so with zero
+// release dates this is the true optimum.
+func BestPermutation(ins *Instance) ([]int, []int64, float64, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, nil, 0, err
+	}
+	n := len(ins.Jobs)
+	if n > MaxPermutationJobs {
+		return nil, nil, 0, fmt.Errorf("openshop: %d jobs exceeds permutation search limit %d", n, MaxPermutationJobs)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var bestOrder []int
+	var bestComp []int64
+	best := -1.0
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			comp, err := ScheduleByOrder(ins, perm)
+			if err != nil {
+				return
+			}
+			if tot := ins.TotalWeighted(comp); best < 0 || tot < best {
+				best = tot
+				bestOrder = append([]int(nil), perm...)
+				bestComp = comp
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return bestOrder, bestComp, best, nil
+}

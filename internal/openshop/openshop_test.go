@@ -1,0 +1,269 @@
+package openshop
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coflow/internal/coflowmodel"
+	"coflow/internal/core"
+	"coflow/internal/exact"
+)
+
+func twoJobShop() *Instance {
+	return &Instance{
+		Machines: 2,
+		Jobs: []Job{
+			{ID: 1, Weight: 1, Proc: []int64{2, 1}},
+			{ID: 2, Weight: 1, Proc: []int64{1, 3}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := twoJobShop().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := twoJobShop()
+	bad.Jobs[0].Proc = []int64{1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	bad2 := twoJobShop()
+	bad2.Jobs[1].ID = 1
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	bad3 := twoJobShop()
+	bad3.Jobs[0].Proc[0] = -1
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("negative proc accepted")
+	}
+}
+
+func TestScheduleByOrder(t *testing.T) {
+	ins := twoJobShop()
+	comp, err := ScheduleByOrder(ins, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Machine 0: job1 [0,2], job2 [2,3]; machine 1: job1 [0,1], job2 [1,4].
+	if comp[0] != 2 || comp[1] != 4 {
+		t.Fatalf("completions = %v, want [2 4]", comp)
+	}
+	comp, err = ScheduleByOrder(ins, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Machine 0: job2 [0,1], job1 [1,3]; machine 1: job2 [0,3], job1 [3,4].
+	if comp[1] != 3 || comp[0] != 4 {
+		t.Fatalf("completions = %v, want job2=3 job1=4", comp)
+	}
+}
+
+func TestScheduleByOrderReleaseDates(t *testing.T) {
+	ins := &Instance{Machines: 1, Jobs: []Job{
+		{ID: 1, Weight: 1, Release: 5, Proc: []int64{2}},
+		{ID: 2, Weight: 1, Release: 0, Proc: []int64{1}},
+	}}
+	comp, err := ScheduleByOrder(ins, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp[0] != 7 || comp[1] != 8 {
+		t.Fatalf("completions = %v, want [7 8]", comp)
+	}
+}
+
+func TestScheduleByOrderRejectsBadOrder(t *testing.T) {
+	ins := twoJobShop()
+	for _, order := range [][]int{{0}, {0, 0}, {0, 2}} {
+		if _, err := ScheduleByOrder(ins, order); err == nil {
+			t.Errorf("order %v accepted", order)
+		}
+	}
+}
+
+func TestEmbeddingRoundTrip(t *testing.T) {
+	ins := twoJobShop()
+	cins := ins.ToCoflowInstance()
+	if err := cins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k := range cins.Coflows {
+		if !cins.Coflows[k].Matrix(2).IsDiagonal() {
+			t.Fatal("embedding not diagonal")
+		}
+	}
+	back, err := FromCoflowInstance(cins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range back.Jobs {
+		for i := range back.Jobs[k].Proc {
+			if back.Jobs[k].Proc[i] != ins.Jobs[k].Proc[i] {
+				t.Fatalf("round trip lost processing times: %+v", back.Jobs[k])
+			}
+		}
+	}
+}
+
+func TestFromCoflowRejectsOffDiagonal(t *testing.T) {
+	cins := &coflowmodel.Instance{Ports: 2, Coflows: []coflowmodel.Coflow{
+		{ID: 1, Weight: 1, Flows: []coflowmodel.Flow{{Src: 0, Dst: 1, Size: 1}}},
+	}}
+	if _, err := FromCoflowInstance(cins); err == nil {
+		t.Fatal("off-diagonal coflow accepted")
+	}
+}
+
+func TestSWPTAndBottleneckOrders(t *testing.T) {
+	ins := &Instance{Machines: 2, Jobs: []Job{
+		{ID: 1, Weight: 1, Proc: []int64{5, 5}}, // total 10, bottleneck 5
+		{ID: 2, Weight: 1, Proc: []int64{8, 0}}, // total 8, bottleneck 8
+	}}
+	swpt := SWPTOrder(ins)
+	if swpt[0] != 1 {
+		t.Fatalf("SWPT order = %v, want job 2 first (total 8 < 10)", swpt)
+	}
+	bn := BottleneckOrder(ins)
+	if bn[0] != 0 {
+		t.Fatalf("Bottleneck order = %v, want job 1 first (5 < 8)", bn)
+	}
+}
+
+func TestBestPermutationTiny(t *testing.T) {
+	ins := twoJobShop()
+	order, comp, total, err := BestPermutation(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || len(comp) != 2 {
+		t.Fatalf("order=%v comp=%v", order, comp)
+	}
+	// Orders: {0,1} → 2+4 = 6; {1,0} → 4+3 = 7. Best is 6.
+	if math.Abs(total-6) > 1e-9 {
+		t.Fatalf("best total = %g, want 6", total)
+	}
+}
+
+func TestBestPermutationGuard(t *testing.T) {
+	ins := &Instance{Machines: 1}
+	for k := 0; k <= MaxPermutationJobs; k++ {
+		ins.Jobs = append(ins.Jobs, Job{ID: k + 1, Weight: 1, Proc: []int64{1}})
+	}
+	if _, _, _, err := BestPermutation(ins); err == nil {
+		t.Fatal("permutation guard did not trip")
+	}
+}
+
+func randomShop(rng *rand.Rand, machines, jobs int, maxP int64) *Instance {
+	ins := &Instance{Machines: machines}
+	for k := 0; k < jobs; k++ {
+		j := Job{ID: k + 1, Weight: 1 + float64(rng.Intn(4)), Proc: make([]int64, machines)}
+		for i := range j.Proc {
+			j.Proc[i] = rng.Int63n(maxP + 1)
+		}
+		if func() bool {
+			for _, p := range j.Proc {
+				if p > 0 {
+					return false
+				}
+			}
+			return true
+		}() {
+			j.Proc[0] = 1
+		}
+		ins.Jobs = append(ins.Jobs, j)
+	}
+	return ins
+}
+
+// Appendix A equivalence at the optimum: the exact coflow optimum of
+// the diagonal embedding equals the best permutation schedule of the
+// shop (permutation schedules are optimal for concurrent open shop).
+func TestDiagonalCoflowOptimumEqualsShopOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	for trial := 0; trial < 20; trial++ {
+		ins := randomShop(rng, 1+rng.Intn(3), 1+rng.Intn(3), 3)
+		_, _, shopOpt, err := BestPermutation(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cins := ins.ToCoflowInstance()
+		if cins.TotalWork() > exact.MaxUnits {
+			continue
+		}
+		copt, err := exact.Solve(cins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(copt.Total-shopOpt) > 1e-9 {
+			t.Fatalf("trial %d: coflow OPT %g != shop OPT %g", trial, copt.Total, shopOpt)
+		}
+	}
+}
+
+// List scheduling never loses to the coflow executor given the same
+// order: the shop schedule is work-conserving per machine.
+func TestListSchedulingDominatesCoflowExecutor(t *testing.T) {
+	rng := rand.New(rand.NewSource(2718))
+	for trial := 0; trial < 30; trial++ {
+		ins := randomShop(rng, 1+rng.Intn(4), 1+rng.Intn(5), 6)
+		cins := ins.ToCoflowInstance()
+		res, err := core.Schedule(cins, core.Options{Ordering: core.OrderLoadWeight, Grouping: true, Backfill: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Use the same order for the shop.
+		comp, err := ScheduleByOrder(ins, res.Order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shop := ins.TotalWeighted(comp); shop > res.TotalWeighted+1e-9 {
+			t.Fatalf("trial %d: shop list schedule %g worse than coflow executor %g", trial, shop, res.TotalWeighted)
+		}
+	}
+}
+
+func TestLPOrderRunsAndIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ins := randomShop(rng, 3, 6, 5)
+	order, err := LPOrder(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(order))
+	for _, k := range order {
+		if k < 0 || k >= len(order) || seen[k] {
+			t.Fatalf("LP order not a permutation: %v", order)
+		}
+		seen[k] = true
+	}
+}
+
+// LP ordering should be competitive with SWPT on random shops.
+func TestLPOrderQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var lpTotal, swptTotal float64
+	for trial := 0; trial < 10; trial++ {
+		ins := randomShop(rng, 3, 7, 6)
+		lpOrd, err := LPOrder(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1, err := ScheduleByOrder(ins, lpOrd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := ScheduleByOrder(ins, SWPTOrder(ins))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpTotal += ins.TotalWeighted(c1)
+		swptTotal += ins.TotalWeighted(c2)
+	}
+	if lpTotal > swptTotal*1.3 {
+		t.Fatalf("LP ordering much worse than SWPT: %g vs %g", lpTotal, swptTotal)
+	}
+}

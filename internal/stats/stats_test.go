@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"coflow/internal/coflowmodel"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.Count != 10 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if math.Abs(s.Mean-5.5) > 1e-12 {
+		t.Fatalf("Mean = %g, want 5.5", s.Mean)
+	}
+	if s.P50 != 5 { // nearest rank: ceil(0.5*10) = 5th value
+		t.Fatalf("P50 = %g, want 5", s.P50)
+	}
+	if s.P90 != 9 {
+		t.Fatalf("P90 = %g, want 9", s.P90)
+	}
+	if s.P99 != 10 {
+		t.Fatalf("P99 = %g, want 10", s.P99)
+	}
+	if s.Min != 1 || s.Max != 10 {
+		t.Fatalf("Min/Max = %g/%g", s.Min, s.Max)
+	}
+	// Population stddev of 1..10 = sqrt(33/4) ≈ 2.8723.
+	if math.Abs(s.StdDev-math.Sqrt(8.25)) > 1e-9 {
+		t.Fatalf("StdDev = %g", s.StdDev)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Count != 1 || s.Mean != 7 || s.P50 != 7 || s.P99 != 7 || s.StdDev != 0 {
+		t.Fatalf("single-value summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Summarize sorted the caller's slice")
+	}
+}
+
+func TestSlowdowns(t *testing.T) {
+	ins := &coflowmodel.Instance{
+		Ports: 2,
+		Coflows: []coflowmodel.Coflow{
+			{ID: 1, Weight: 1, Flows: []coflowmodel.Flow{{Src: 0, Dst: 0, Size: 4}}},
+			{ID: 2, Weight: 1, Release: 2, Flows: []coflowmodel.Flow{{Src: 1, Dst: 1, Size: 3}}},
+			{ID: 3, Weight: 1}, // empty
+		},
+	}
+	sd := Slowdowns(ins, []int64{8, 10, 0})
+	if math.Abs(sd[0]-2) > 1e-12 { // 8 / (0+4)
+		t.Fatalf("slowdown[0] = %g, want 2", sd[0])
+	}
+	if math.Abs(sd[1]-2) > 1e-12 { // 10 / (2+3)
+		t.Fatalf("slowdown[1] = %g, want 2", sd[1])
+	}
+	if sd[2] != 1 {
+		t.Fatalf("empty coflow slowdown = %g, want 1", sd[2])
+	}
+}
+
+func TestSlowdownsPanicsOnArity(t *testing.T) {
+	ins := &coflowmodel.Instance{Ports: 1, Coflows: []coflowmodel.Coflow{{ID: 1, Weight: 1}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch accepted")
+		}
+	}()
+	Slowdowns(ins, []int64{1, 2})
+}
+
+func TestSlowdownSummaryAndFormat(t *testing.T) {
+	ins := &coflowmodel.Instance{
+		Ports: 1,
+		Coflows: []coflowmodel.Coflow{
+			{ID: 1, Weight: 1, Flows: []coflowmodel.Flow{{Src: 0, Dst: 0, Size: 2}}},
+			{ID: 2, Weight: 1, Flows: []coflowmodel.Flow{{Src: 0, Dst: 0, Size: 2}}},
+		},
+	}
+	s := SlowdownSummary(ins, []int64{2, 4})
+	if s.Count != 2 || s.Min != 1 || s.Max != 2 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	out := s.Format()
+	if !strings.Contains(out, "p90=") || !strings.Contains(out, "n=2") {
+		t.Fatalf("Format output wrong: %s", out)
+	}
+	if Summarize(nil).Format() != "n=0" {
+		t.Fatal("empty Format wrong")
+	}
+}
+
+// testing/quick property: percentiles are ordered and bounded by the
+// extremes for any input.
+func TestSummaryOrderingQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				// Bound magnitudes: the property under test is the
+				// percentile ordering, not float overflow semantics.
+				vals = append(vals, math.Mod(math.Abs(v), 1e12))
+			}
+		}
+		s := Summarize(vals)
+		if s.Count == 0 {
+			return len(vals) == 0
+		}
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 &&
+			s.P99 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package switchsim
+
+import (
+	"fmt"
+	"strings"
+
+	"coflow/internal/coflowmodel"
+)
+
+// ganttSymbols are cycled through to label coflows in a Gantt chart.
+const ganttSymbols = "123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+// RenderGantt draws a transcript as an ASCII timeline: one row per
+// ingress port, one column per slot, each cell showing which coflow's
+// unit left that port ('.' = idle). Timelines longer than maxSlots are
+// truncated with a marker. Intended for small demonstrations and
+// debugging; for m ≤ ~30 and short horizons it is quite readable.
+func RenderGantt(ins *coflowmodel.Instance, tr *Transcript, maxSlots int) string {
+	if maxSlots <= 0 {
+		maxSlots = 120
+	}
+	var horizon int64
+	for _, s := range tr.Services {
+		if s.Slot > horizon {
+			horizon = s.Slot
+		}
+	}
+	truncated := false
+	if horizon > int64(maxSlots) {
+		horizon = int64(maxSlots)
+		truncated = true
+	}
+	if horizon == 0 {
+		return "(empty schedule)\n"
+	}
+	grid := make([][]byte, tr.Ports)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", int(horizon)))
+	}
+	for _, s := range tr.Services {
+		if s.Slot > horizon {
+			continue
+		}
+		sym := ganttSymbols[s.Coflow%len(ganttSymbols)]
+		grid[s.Src][s.Slot-1] = sym
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Gantt (ingress ports × slots 1..%d", horizon)
+	if truncated {
+		b.WriteString(", truncated")
+	}
+	b.WriteString("):\n")
+	for i, row := range grid {
+		fmt.Fprintf(&b, "  in%-3d |%s|\n", i, row)
+	}
+	b.WriteString("  legend:")
+	for k := range ins.Coflows {
+		if k >= len(ganttSymbols) {
+			fmt.Fprintf(&b, " … (+%d more)", len(ins.Coflows)-k)
+			break
+		}
+		fmt.Fprintf(&b, " %c=coflow%d", ganttSymbols[k%len(ganttSymbols)], ins.Coflows[k].ID)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

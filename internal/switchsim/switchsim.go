@@ -1,0 +1,398 @@
+// Package switchsim executes coflow schedules on the paper's network
+// model: an m×m non-blocking switch where, in each integral time slot,
+// the set of served (ingress, egress) pairs must form a matching.
+//
+// The executor runs a Plan: an ordered list of coflows partitioned
+// into consecutive stages (single coflows, or the groups built by
+// Algorithm 2). Each stage is cleared with the matchings of a
+// Birkhoff–von Neumann decomposition; within a matched port pair,
+// data units are served in coflow order, and optional backfilling
+// pulls units from subsequent coflows into slots the decomposition
+// would otherwise leave idle (§4.1 of the paper).
+//
+// Two executors are provided: Execute processes whole BvN terms
+// (q slots at a time) and is used for experiments; ExecuteSlotAccurate
+// simulates one slot at a time and exists to cross-check the block
+// arithmetic in tests.
+package switchsim
+
+import (
+	"fmt"
+
+	"coflow/internal/bvn"
+	"coflow/internal/coflowmodel"
+	"coflow/internal/matrix"
+)
+
+// Stage is a run of consecutive positions [Start, End) in the plan's
+// order, scheduled together as one aggregated coflow.
+type Stage struct {
+	Start, End int
+}
+
+// Plan describes one complete scheduling policy instantiation.
+type Plan struct {
+	// Ins is the instance being scheduled.
+	Ins *coflowmodel.Instance
+	// Order lists coflow indices (into Ins.Coflows) in service order.
+	Order []int
+	// Stages partitions positions 0..len(Order)-1 into consecutive
+	// runs; each stage is aggregated and cleared by one BvN schedule.
+	Stages []Stage
+	// Backfill, when set, lets a matched pair with spare slots serve
+	// flows of subsequent coflows on the same pair, in order.
+	Backfill bool
+	// Recompute, when set, decomposes the *remaining* demand of a
+	// stage when it starts (work-conserving extension). When unset the
+	// paper-literal schedule is used: the stage's original demand is
+	// decomposed even if backfilling already served part of it.
+	Recompute bool
+	// Strategy selects the BvN extraction rule (bvn.StrategyFirst is
+	// the paper's Algorithm 1; bvn.StrategyThick emits far fewer
+	// distinct matchings for the same ρ-slot schedules).
+	Strategy bvn.Strategy
+}
+
+// Result reports the outcome of executing a plan.
+type Result struct {
+	// Completion[k] is the completion slot of Ins.Coflows[k]: the
+	// index of the slot in which its last unit was transferred, or its
+	// release date if it has no demand.
+	Completion []int64
+	// TotalWeighted is Σ_k w_k·Completion[k].
+	TotalWeighted float64
+	// Makespan is the largest completion time.
+	Makespan int64
+	// Matchings is the number of distinct BvN terms scheduled.
+	Matchings int
+	// Slots is the total number of slots spanned by the schedule,
+	// including any forced idle waiting for releases.
+	Slots int64
+}
+
+// pairItem is one coflow's aggregated demand on a single port pair.
+type pairItem struct {
+	pos       int // position in plan order
+	coflow    int // index into Ins.Coflows
+	remaining int64
+}
+
+type executor struct {
+	plan    *Plan
+	m       int
+	queues  [][]pairItem // per pair i*m+j, in order position
+	head    []int        // first possibly-unfinished queue item per pair
+	lastSrv []int64      // per coflow: last slot any unit was served
+	remain  []int64      // per coflow: total remaining units
+	stageOf []int        // per position: stage index
+}
+
+func newExecutor(plan *Plan) (*executor, error) {
+	ins := plan.Ins
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(ins.Coflows)
+	if len(plan.Order) != n {
+		return nil, fmt.Errorf("switchsim: order has %d entries, instance has %d coflows", len(plan.Order), n)
+	}
+	seen := make([]bool, n)
+	for _, k := range plan.Order {
+		if k < 0 || k >= n || seen[k] {
+			return nil, fmt.Errorf("switchsim: order is not a permutation of coflow indices")
+		}
+		seen[k] = true
+	}
+	if err := checkStages(plan.Stages, n); err != nil {
+		return nil, err
+	}
+	m := ins.Ports
+	e := &executor{
+		plan:    plan,
+		m:       m,
+		queues:  make([][]pairItem, m*m),
+		head:    make([]int, m*m),
+		lastSrv: make([]int64, n),
+		remain:  make([]int64, n),
+		stageOf: make([]int, n),
+	}
+	for s, st := range plan.Stages {
+		for pos := st.Start; pos < st.End; pos++ {
+			e.stageOf[pos] = s
+		}
+	}
+	for k := range e.lastSrv {
+		e.lastSrv[k] = -1
+	}
+	// Build per-pair queues in order position, merging duplicate flows.
+	for pos, k := range plan.Order {
+		agg := make(map[int]int64)
+		for _, f := range ins.Coflows[k].Flows {
+			if f.Size > 0 {
+				agg[f.Src*m+f.Dst] += f.Size
+			}
+		}
+		for pair, size := range agg {
+			e.queues[pair] = append(e.queues[pair], pairItem{pos: pos, coflow: k, remaining: size})
+			e.remain[k] += size
+		}
+	}
+	// Map iteration order is random; restore order-position sorting.
+	for pair := range e.queues {
+		q := e.queues[pair]
+		for i := 1; i < len(q); i++ {
+			for j := i; j > 0 && q[j].pos < q[j-1].pos; j-- {
+				q[j], q[j-1] = q[j-1], q[j]
+			}
+		}
+	}
+	return e, nil
+}
+
+func checkStages(stages []Stage, n int) error {
+	want := 0
+	for _, st := range stages {
+		if st.Start != want || st.End <= st.Start {
+			return fmt.Errorf("switchsim: stages must partition 0..%d into consecutive runs", n)
+		}
+		want = st.End
+	}
+	if want != n {
+		return fmt.Errorf("switchsim: stages cover %d of %d positions", want, n)
+	}
+	return nil
+}
+
+// stageMatrix builds the demand to decompose for a stage: the original
+// aggregate (paper-literal) or the remaining aggregate (Recompute).
+func (e *executor) stageMatrix(st Stage) *matrix.Matrix {
+	d := matrix.NewSquare(e.m)
+	if e.plan.Recompute {
+		for pair, q := range e.queues {
+			i, j := pair/e.m, pair%e.m
+			for _, it := range q {
+				if it.pos >= st.Start && it.pos < st.End && it.remaining > 0 {
+					d.Add(i, j, it.remaining)
+				}
+			}
+		}
+		return d
+	}
+	for pos := st.Start; pos < st.End; pos++ {
+		k := e.plan.Order[pos]
+		for _, f := range e.plan.Ins.Coflows[k].Flows {
+			if f.Size > 0 {
+				d.Add(f.Src, f.Dst, f.Size)
+			}
+		}
+	}
+	return d
+}
+
+// servePair serves up to cap units on pair (i,j) starting at absolute
+// slot start+1, honouring the plan's service discipline for the stage
+// covering positions [stStart, stEnd). Returns the number served.
+func (e *executor) servePair(pair int, cap int64, start int64, stEnd int) int64 {
+	q := e.queues[pair]
+	served := int64(0)
+	for idx := e.head[pair]; idx < len(q) && served < cap; idx++ {
+		it := &q[idx]
+		if it.remaining == 0 {
+			if idx == e.head[pair] {
+				e.head[pair]++
+			}
+			continue
+		}
+		if it.pos >= stEnd {
+			if !e.plan.Backfill {
+				break
+			}
+			if e.plan.Ins.Coflows[it.coflow].Release > start {
+				continue // not yet released; try later coflows
+			}
+		}
+		take := cap - served
+		if take > it.remaining {
+			take = it.remaining
+		}
+		it.remaining -= take
+		e.remain[it.coflow] -= take
+		served += take
+		// Units on this pair occupy consecutive slots following the
+		// units already served in this block.
+		last := start + served
+		if last > e.lastSrv[it.coflow] {
+			e.lastSrv[it.coflow] = last
+		}
+		if it.remaining == 0 && idx == e.head[pair] {
+			e.head[pair]++
+		}
+	}
+	return served
+}
+
+// Execute runs the plan with block-granularity service and returns
+// per-coflow completion times.
+func Execute(plan *Plan) (*Result, error) {
+	e, err := newExecutor(plan)
+	if err != nil {
+		return nil, err
+	}
+	var t int64
+	matchings := 0
+	for _, st := range plan.Stages {
+		// Algorithm 2 schedules a group once all its members are
+		// released.
+		for pos := st.Start; pos < st.End; pos++ {
+			if r := plan.Ins.Coflows[plan.Order[pos]].Release; r > t {
+				t = r
+			}
+		}
+		d := e.stageMatrix(st)
+		if d.IsZero() {
+			continue
+		}
+		dec, err := bvn.DecomposeWith(d, e.plan.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		for _, term := range dec.Terms {
+			for i, j := range term.Perm.To {
+				if j != matrix.Unmatched {
+					e.servePair(i*e.m+j, term.Count, t, st.End)
+				}
+			}
+			t += term.Count
+			matchings++
+		}
+	}
+	return e.finish(t, matchings)
+}
+
+// ExecuteSlotAccurate runs the plan one slot at a time: in each slot
+// each matched pair serves at most one unit. It must produce exactly
+// the same completion times as Execute; it exists as an independent
+// cross-check of the block arithmetic.
+func ExecuteSlotAccurate(plan *Plan) (*Result, error) {
+	e, err := newExecutor(plan)
+	if err != nil {
+		return nil, err
+	}
+	var t int64
+	matchings := 0
+	for _, st := range plan.Stages {
+		for pos := st.Start; pos < st.End; pos++ {
+			if r := plan.Ins.Coflows[plan.Order[pos]].Release; r > t {
+				t = r
+			}
+		}
+		d := e.stageMatrix(st)
+		if d.IsZero() {
+			continue
+		}
+		dec, err := bvn.DecomposeWith(d, e.plan.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		for _, term := range dec.Terms {
+			blockStart := t
+			for s := int64(0); s < term.Count; s++ {
+				for i, j := range term.Perm.To {
+					if j == matrix.Unmatched {
+						continue
+					}
+					pair := i*e.m + j
+					// Serve exactly one unit using the block's
+					// eligibility time, matching Execute's rule.
+					e.serveOneSlot(pair, blockStart, t+1, st.End)
+				}
+				t++
+			}
+			matchings++
+		}
+	}
+	return e.finish(t, matchings)
+}
+
+// serveOneSlot serves a single unit on pair at absolute slot `slot`,
+// with backfill eligibility evaluated at blockStart (the same rule the
+// block executor uses).
+func (e *executor) serveOneSlot(pair int, blockStart, slot int64, stEnd int) {
+	q := e.queues[pair]
+	for idx := e.head[pair]; idx < len(q); idx++ {
+		it := &q[idx]
+		if it.remaining == 0 {
+			if idx == e.head[pair] {
+				e.head[pair]++
+			}
+			continue
+		}
+		if it.pos >= stEnd {
+			if !e.plan.Backfill {
+				return
+			}
+			if e.plan.Ins.Coflows[it.coflow].Release > blockStart {
+				continue
+			}
+		}
+		it.remaining--
+		e.remain[it.coflow]--
+		if slot > e.lastSrv[it.coflow] {
+			e.lastSrv[it.coflow] = slot
+		}
+		if it.remaining == 0 && idx == e.head[pair] {
+			e.head[pair]++
+		}
+		return
+	}
+}
+
+func (e *executor) finish(t int64, matchings int) (*Result, error) {
+	ins := e.plan.Ins
+	res := &Result{
+		Completion: make([]int64, len(ins.Coflows)),
+		Matchings:  matchings,
+		Slots:      t,
+	}
+	for k := range ins.Coflows {
+		if e.remain[k] != 0 {
+			return nil, fmt.Errorf("switchsim: coflow %d has %d unserved units after schedule end",
+				ins.Coflows[k].ID, e.remain[k])
+		}
+		c := e.lastSrv[k]
+		if c < 0 {
+			c = ins.Coflows[k].Release // empty coflow completes on release
+		}
+		res.Completion[k] = c
+		res.TotalWeighted += ins.Coflows[k].Weight * float64(c)
+		if c > res.Makespan {
+			res.Makespan = c
+		}
+	}
+	return res, nil
+}
+
+// SingleStage returns the stage list for per-position scheduling
+// (every coflow its own stage: the "without grouping" cases).
+func SingleStage(n int) []Stage {
+	out := make([]Stage, n)
+	for i := range out {
+		out[i] = Stage{Start: i, End: i + 1}
+	}
+	return out
+}
+
+// OneStage returns a single stage covering all n positions.
+func OneStage(n int) []Stage {
+	return []Stage{{Start: 0, End: n}}
+}
+
+// WeightedCompletion recomputes Σ w_k·C_k for an instance from a
+// completion vector.
+func WeightedCompletion(ins *coflowmodel.Instance, completion []int64) float64 {
+	var s float64
+	for k := range ins.Coflows {
+		s += ins.Coflows[k].Weight * float64(completion[k])
+	}
+	return s
+}

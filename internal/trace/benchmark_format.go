@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"coflow/internal/coflowmodel"
+)
+
+// ParseBenchmarkFormat reads the community "coflow-benchmark" trace
+// format popularized by the Varys/Coflowsim releases (the public form
+// of the Facebook trace the paper evaluates on):
+//
+//	<numRacks> <numCoflows>
+//	<id> <arrivalMillis> <numMappers> <m1> … <numReducers> <r1:sizeMB> …
+//
+// Mapper entries are rack (ingress port) numbers; reducer entries are
+// "rack:sizeMB" pairs, where sizeMB is the TOTAL data received by that
+// reducer, split evenly across the mappers (fractional shares are
+// rounded up per flow, matching coflowsim's behaviour). Arrival times
+// are converted from milliseconds to time units of `unitMillis`
+// (use 1000/128 ≈ 7.8125 for the paper's 1MB-per-unit ports, or pass
+// 0 to drop release dates). Weights default to 1.
+func ParseBenchmarkFormat(r io.Reader, unitMillis float64) (*coflowmodel.Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line, err := nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("trace: missing header: %w", err)
+	}
+	var numRacks, numCoflows int
+	if _, err := fmt.Sscanf(line, "%d %d", &numRacks, &numCoflows); err != nil {
+		return nil, fmt.Errorf("trace: bad header %q: %w", line, err)
+	}
+	if numRacks <= 0 || numCoflows < 0 {
+		return nil, fmt.Errorf("trace: bad header %q", line)
+	}
+	ins := &coflowmodel.Instance{Ports: numRacks}
+	for c := 0; c < numCoflows; c++ {
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("trace: coflow %d: %w", c+1, err)
+		}
+		cf, err := parseBenchmarkCoflow(line, numRacks, unitMillis)
+		if err != nil {
+			return nil, fmt.Errorf("trace: coflow %d: %w", c+1, err)
+		}
+		ins.Coflows = append(ins.Coflows, cf)
+	}
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	return ins, nil
+}
+
+func nextLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			return line, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+func parseBenchmarkCoflow(line string, numRacks int, unitMillis float64) (coflowmodel.Coflow, error) {
+	fields := strings.Fields(line)
+	pos := 0
+	next := func() (string, error) {
+		if pos >= len(fields) {
+			return "", fmt.Errorf("truncated line %q", line)
+		}
+		f := fields[pos]
+		pos++
+		return f, nil
+	}
+	nextInt := func() (int, error) {
+		f, err := next()
+		if err != nil {
+			return 0, err
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return 0, fmt.Errorf("bad integer %q", f)
+		}
+		return v, nil
+	}
+
+	id, err := nextInt()
+	if err != nil {
+		return coflowmodel.Coflow{}, err
+	}
+	arrivalMillis, err := nextInt()
+	if err != nil {
+		return coflowmodel.Coflow{}, err
+	}
+	numMappers, err := nextInt()
+	if err != nil {
+		return coflowmodel.Coflow{}, err
+	}
+	mappers := make([]int, numMappers)
+	for i := range mappers {
+		m, err := nextInt()
+		if err != nil {
+			return coflowmodel.Coflow{}, err
+		}
+		if m < 0 || m >= numRacks {
+			return coflowmodel.Coflow{}, fmt.Errorf("mapper rack %d out of range", m)
+		}
+		mappers[i] = m
+	}
+	numReducers, err := nextInt()
+	if err != nil {
+		return coflowmodel.Coflow{}, err
+	}
+	cf := coflowmodel.Coflow{ID: id, Weight: 1}
+	if unitMillis > 0 {
+		cf.Release = int64(float64(arrivalMillis) / unitMillis)
+	}
+	for r := 0; r < numReducers; r++ {
+		f, err := next()
+		if err != nil {
+			return coflowmodel.Coflow{}, err
+		}
+		rack, sizeMB, err := splitReducer(f)
+		if err != nil {
+			return coflowmodel.Coflow{}, err
+		}
+		if rack < 0 || rack >= numRacks {
+			return coflowmodel.Coflow{}, fmt.Errorf("reducer rack %d out of range", rack)
+		}
+		if numMappers == 0 {
+			continue
+		}
+		// Total reducer bytes split evenly across mappers; per-flow
+		// shares round up so no demand is lost to truncation.
+		per := (sizeMB + int64(numMappers) - 1) / int64(numMappers)
+		if per < 1 {
+			per = 1
+		}
+		for _, m := range mappers {
+			cf.Flows = append(cf.Flows, coflowmodel.Flow{Src: m, Dst: rack, Size: per})
+		}
+	}
+	if pos != len(fields) {
+		return coflowmodel.Coflow{}, fmt.Errorf("trailing tokens in %q", line)
+	}
+	return cf, nil
+}
+
+func splitReducer(f string) (rack int, sizeMB int64, err error) {
+	parts := strings.SplitN(f, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad reducer entry %q (want rack:size)", f)
+	}
+	rack, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad reducer rack in %q", f)
+	}
+	sizeMB, err = strconv.ParseInt(parts[1], 10, 64)
+	if err != nil || sizeMB < 0 {
+		return 0, 0, fmt.Errorf("bad reducer size in %q", f)
+	}
+	return rack, sizeMB, nil
+}
+
+// WriteBenchmarkFormat serializes an instance back into the community
+// format. Flows are aggregated per reducer; the even-split convention
+// means a round trip preserves port loads but may redistribute sizes
+// across mappers of the same reducer.
+func WriteBenchmarkFormat(w io.Writer, ins *coflowmodel.Instance, unitMillis float64) error {
+	if err := ins.Validate(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%d %d\n", ins.Ports, len(ins.Coflows)); err != nil {
+		return err
+	}
+	for k := range ins.Coflows {
+		c := &ins.Coflows[k]
+		mapperSet := map[int]bool{}
+		reducerSize := map[int]int64{}
+		var reducerOrder []int
+		for _, f := range c.Flows {
+			if f.Size <= 0 {
+				continue
+			}
+			mapperSet[f.Src] = true
+			if _, seen := reducerSize[f.Dst]; !seen {
+				reducerOrder = append(reducerOrder, f.Dst)
+			}
+			reducerSize[f.Dst] += f.Size
+		}
+		var mappers []int
+		for m := 0; m < ins.Ports; m++ {
+			if mapperSet[m] {
+				mappers = append(mappers, m)
+			}
+		}
+		arrival := int64(0)
+		if unitMillis > 0 {
+			arrival = int64(float64(c.Release) * unitMillis)
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d %d %d", c.ID, arrival, len(mappers))
+		for _, m := range mappers {
+			fmt.Fprintf(&b, " %d", m)
+		}
+		fmt.Fprintf(&b, " %d", len(reducerOrder))
+		for _, r := range reducerOrder {
+			fmt.Fprintf(&b, " %d:%d", r, reducerSize[r])
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"coflow/internal/coflowmodel"
+)
+
+const sampleBenchmarkTrace = `# community coflow-benchmark format
+4 3
+1 0 2 0 1 2 2:4 3:2
+2 1000 1 3 1 0:9
+3 2000 2 1 2 1 3:0
+`
+
+func TestParseBenchmarkFormat(t *testing.T) {
+	ins, err := ParseBenchmarkFormat(strings.NewReader(sampleBenchmarkTrace), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Ports != 4 || len(ins.Coflows) != 3 {
+		t.Fatalf("parsed %d ports, %d coflows", ins.Ports, len(ins.Coflows))
+	}
+	// Coflow 1: mappers {0,1}, reducers 2 (4MB) and 3 (2MB): each
+	// reducer's bytes split evenly over 2 mappers → 2 and 1 per flow.
+	c1 := ins.Coflows[0]
+	if c1.ID != 1 || c1.Release != 0 {
+		t.Fatalf("coflow 1 metadata: %+v", c1)
+	}
+	d := c1.Matrix(4)
+	if d.At(0, 2) != 2 || d.At(1, 2) != 2 || d.At(0, 3) != 1 || d.At(1, 3) != 1 {
+		t.Fatalf("coflow 1 demand wrong: %v", d)
+	}
+	// Coflow 2: arrival 1000ms at 1000ms/unit → release 1.
+	c2 := ins.Coflows[1]
+	if c2.Release != 1 {
+		t.Fatalf("coflow 2 release = %d, want 1", c2.Release)
+	}
+	if c2.Matrix(4).At(3, 0) != 9 {
+		t.Fatalf("coflow 2 demand wrong: %v", c2.Matrix(4))
+	}
+	// Coflow 3 has a zero-size reducer: per-flow size floors at 1.
+	c3 := ins.Coflows[2]
+	if c3.Matrix(4).At(1, 3) != 1 || c3.Matrix(4).At(2, 3) != 1 {
+		t.Fatalf("coflow 3 demand wrong: %v", c3.Matrix(4))
+	}
+}
+
+func TestParseBenchmarkFormatZeroUnitDropsReleases(t *testing.T) {
+	ins, err := ParseBenchmarkFormat(strings.NewReader(sampleBenchmarkTrace), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.MaxRelease() != 0 {
+		t.Fatal("releases should be dropped with unitMillis=0")
+	}
+}
+
+func TestParseBenchmarkFormatErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad header":      "x y\n",
+		"neg racks":       "-1 1\n",
+		"missing coflow":  "4 2\n1 0 1 0 1 1:1\n",
+		"mapper range":    "2 1\n1 0 1 5 1 0:1\n",
+		"reducer range":   "2 1\n1 0 1 0 1 7:1\n",
+		"bad reducer":     "2 1\n1 0 1 0 1 zz\n",
+		"bad size":        "2 1\n1 0 1 0 1 0:-3\n",
+		"trailing tokens": "2 1\n1 0 1 0 1 0:1 9 9\n",
+		"truncated":       "2 1\n1 0 3 0\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseBenchmarkFormat(strings.NewReader(in), 1000); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBenchmarkFormatRoundTripLoads(t *testing.T) {
+	// Generate, write, re-read: port loads must be preserved exactly
+	// when per-reducer sizes divide evenly; here sizes are controlled.
+	ins, err := ParseBenchmarkFormat(strings.NewReader(sampleBenchmarkTrace), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchmarkFormat(&buf, ins, 1000); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseBenchmarkFormat(bytes.NewReader(buf.Bytes()), 1000)
+	if err != nil {
+		t.Fatalf("%v\noutput was:\n%s", err, buf.String())
+	}
+	if again.Ports != ins.Ports || len(again.Coflows) != len(ins.Coflows) {
+		t.Fatal("round trip changed shape")
+	}
+	for k := range ins.Coflows {
+		want := ins.Coflows[k].ColLoads(ins.Ports)
+		got := again.Coflows[k].ColLoads(ins.Ports)
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("coflow %d egress loads changed: %v vs %v", k, want, got)
+			}
+		}
+		if ins.Coflows[k].Release != again.Coflows[k].Release {
+			t.Fatalf("coflow %d release changed", k)
+		}
+	}
+}
+
+func TestWriteBenchmarkFormatRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	bad := &coflowmodel.Instance{Ports: 0}
+	if err := WriteBenchmarkFormat(&buf, bad, 1000); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := BenchConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mods := map[string]func(*Config){
+		"ports":    func(c *Config) { c.Ports = 0 },
+		"coflows":  func(c *Config) { c.NumCoflows = 0 },
+		"fraction": func(c *Config) { c.NarrowFraction = 0.9; c.WideFraction = 0.5 },
+		"negfrac":  func(c *Config) { c.NarrowFraction = -0.1 },
+		"maxflow":  func(c *Config) { c.MaxFlowSize = 0 },
+		"alpha":    func(c *Config) { c.ParetoAlpha = 0 },
+		"arrival":  func(c *Config) { c.MeanInterarrival = -1 },
+	}
+	for name, mod := range mods {
+		cfg := DefaultConfig()
+		mod(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := BenchConfig()
+	a := MustGenerate(cfg)
+	b := MustGenerate(cfg)
+	if len(a.Coflows) != len(b.Coflows) {
+		t.Fatal("coflow counts differ across identical seeds")
+	}
+	for k := range a.Coflows {
+		if len(a.Coflows[k].Flows) != len(b.Coflows[k].Flows) {
+			t.Fatalf("coflow %d flows differ", k)
+		}
+		for f := range a.Coflows[k].Flows {
+			if a.Coflows[k].Flows[f] != b.Coflows[k].Flows[f] {
+				t.Fatalf("coflow %d flow %d differs", k, f)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	cfg := BenchConfig()
+	a := MustGenerate(cfg)
+	cfg.Seed = 2
+	b := MustGenerate(cfg)
+	if a.TotalWork() == b.TotalWork() {
+		t.Fatal("different seeds produced identical workloads (suspicious)")
+	}
+}
+
+func TestGenerateValidAndNonEmpty(t *testing.T) {
+	ins := MustGenerate(BenchConfig())
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k := range ins.Coflows {
+		if ins.Coflows[k].TotalSize() == 0 {
+			t.Fatalf("coflow %d has no data", k)
+		}
+	}
+	if ins.MaxRelease() != 0 {
+		t.Fatal("default config must release everything at 0")
+	}
+}
+
+func TestGenerateWidthMixture(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumCoflows = 400
+	ins := MustGenerate(cfg)
+	st := Summarize(ins)
+	// The published shape: roughly a quarter fully narrow (both sides
+	// ≤ 4 requires narrow draws on both), some wide coflows present.
+	if st.NarrowCount < ins.Ports/10 {
+		t.Fatalf("almost no narrow coflows: %+v", st)
+	}
+	if st.WideCount == 0 {
+		t.Fatalf("no wide coflows: %+v", st)
+	}
+	if st.MeanFlows <= 1 {
+		t.Fatalf("degenerate flow counts: %+v", st)
+	}
+}
+
+func TestGenerateReleases(t *testing.T) {
+	cfg := BenchConfig()
+	cfg.MeanInterarrival = 10
+	ins := MustGenerate(cfg)
+	if ins.MaxRelease() == 0 {
+		t.Fatal("interarrival configured but all releases are 0")
+	}
+	// Releases are nondecreasing in ID order.
+	var prev int64
+	for _, c := range ins.Coflows {
+		if c.Release < prev {
+			t.Fatal("releases not nondecreasing")
+		}
+		prev = c.Release
+	}
+}
+
+func TestFilteringMatchesPaperSetup(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumCoflows = 300
+	ins := MustGenerate(cfg)
+	f50 := ins.FilterMinFlows(50)
+	f40 := ins.FilterMinFlows(40)
+	f30 := ins.FilterMinFlows(30)
+	if len(f50.Coflows) == 0 {
+		t.Fatal("no coflows survive M0 >= 50; generator shape wrong")
+	}
+	if !(len(f50.Coflows) <= len(f40.Coflows) && len(f40.Coflows) <= len(f30.Coflows)) {
+		t.Fatalf("filter monotonicity broken: %d/%d/%d",
+			len(f50.Coflows), len(f40.Coflows), len(f30.Coflows))
+	}
+	for k := range f50.Coflows {
+		if f50.Coflows[k].NonZeroFlows() < 50 {
+			t.Fatal("filter kept an undersized coflow")
+		}
+	}
+}
+
+func TestFlowSizeDistribution(t *testing.T) {
+	cfg := BenchConfig()
+	cfg.NumCoflows = 200
+	ins := MustGenerate(cfg)
+	var small, large, total int64
+	for k := range ins.Coflows {
+		for _, f := range ins.Coflows[k].Flows {
+			total++
+			if f.Size <= 2 {
+				small++
+			}
+			if f.Size >= cfg.MaxFlowSize/2 {
+				large++
+			}
+			if f.Size > cfg.MaxFlowSize {
+				t.Fatalf("flow size %d exceeds cap", f.Size)
+			}
+		}
+	}
+	if small*2 < total {
+		t.Fatalf("Pareto tail wrong: only %d/%d small flows", small, total)
+	}
+	if large == 0 {
+		t.Fatal("no large flows at all; tail too light")
+	}
+}
+
+func TestSummarizeCounts(t *testing.T) {
+	ins := MustGenerate(BenchConfig())
+	st := Summarize(ins)
+	if st.Coflows != len(ins.Coflows) || st.Ports != ins.Ports {
+		t.Fatalf("bad summary: %+v", st)
+	}
+	if st.TotalUnits != ins.TotalWork() {
+		t.Fatalf("TotalUnits %d != TotalWork %d", st.TotalUnits, ins.TotalWork())
+	}
+	if st.MaxLoad <= 0 || st.MaxLoad > st.TotalUnits {
+		t.Fatalf("MaxLoad %d out of range", st.MaxLoad)
+	}
+}
+
+func BenchmarkGenerateDefault(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

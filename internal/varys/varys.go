@@ -1,0 +1,314 @@
+// Package varys implements a fluid (rate-based) coflow scheduler in
+// the style of Varys [Chowdhury, Zhong, Stoica — SIGCOMM'14], the
+// heuristic system the paper builds on and compares against
+// conceptually. It is the "rate allocation" alternative the paper's
+// §1.1 contrasts with integral matchings: in each epoch every port
+// divides its unit capacity fractionally among flows, which
+// corresponds to scheduling by doubly-substochastic rate matrices
+// (convex combinations of matchings, by Birkhoff–von Neumann).
+//
+// The policy is weighted SEBF + MADD:
+//
+//   - ordering: smallest effective bottleneck first, weighted —
+//     coflows sorted by ρ(remaining)/w;
+//   - rates: minimum-allocation-for-desired-duration — each flow of
+//     the coflow gets exactly the rate needed to finish at the
+//     coflow's bottleneck time given the capacity left by
+//     higher-priority coflows;
+//   - work conservation: leftover port capacity is granted greedily,
+//     in priority order, to any flow that can use it.
+//
+// The simulation is event-driven: it advances directly to the next
+// flow completion or coflow release, so runtime scales with the number
+// of events rather than with the time horizon.
+package varys
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"coflow/internal/coflowmodel"
+)
+
+const eps = 1e-9
+
+// Result reports a fluid schedule's outcome. Completion times are
+// real-valued: fluid schedules may finish between integer slots.
+type Result struct {
+	// Completion[k] is the completion time of ins.Coflows[k] (its
+	// release date if it carries no data).
+	Completion []float64
+	// TotalWeighted is Σ w_k·Completion[k].
+	TotalWeighted float64
+	// Makespan is the largest completion time.
+	Makespan float64
+	// Epochs is the number of rate-allocation epochs simulated.
+	Epochs int
+}
+
+type flowState struct {
+	coflow    int
+	src, dst  int
+	remaining float64
+	rate      float64
+}
+
+type coflowState struct {
+	idx       int // index into ins.Coflows
+	weight    float64
+	release   float64
+	flows     []int // indices into the flow table
+	remaining float64
+	done      bool
+}
+
+// Simulate runs the weighted SEBF + MADD fluid scheduler.
+func Simulate(ins *coflowmodel.Instance) (*Result, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	m := ins.Ports
+	n := len(ins.Coflows)
+
+	var flows []flowState
+	states := make([]*coflowState, n)
+	for k := range ins.Coflows {
+		c := &ins.Coflows[k]
+		st := &coflowState{idx: k, weight: c.Weight, release: float64(c.Release)}
+		agg := map[[2]int]int64{}
+		for _, f := range c.Flows {
+			if f.Size > 0 {
+				agg[[2]int{f.Src, f.Dst}] += f.Size
+			}
+		}
+		// Deterministic flow order.
+		keys := make([][2]int, 0, len(agg))
+		for key := range agg {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a][0] != keys[b][0] {
+				return keys[a][0] < keys[b][0]
+			}
+			return keys[a][1] < keys[b][1]
+		})
+		for _, key := range keys {
+			st.flows = append(st.flows, len(flows))
+			st.remaining += float64(agg[key])
+			flows = append(flows, flowState{coflow: k, src: key[0], dst: key[1], remaining: float64(agg[key])})
+		}
+		if len(st.flows) == 0 {
+			st.done = true
+		}
+		states[k] = st
+	}
+
+	res := &Result{Completion: make([]float64, n)}
+	for k, st := range states {
+		if st.done {
+			res.Completion[k] = st.release
+		}
+	}
+
+	t := 0.0
+	maxEpochs := 4 * (len(flows) + n + 1) // each epoch retires a flow or crosses a release
+	rowRem := make([]float64, m)
+	colRem := make([]float64, m)
+	rowLoad := make([]float64, m)
+	colLoad := make([]float64, m)
+
+	for epoch := 0; ; epoch++ {
+		if epoch > maxEpochs {
+			return nil, fmt.Errorf("varys: event loop exceeded %d epochs (numerical stall)", maxEpochs)
+		}
+		active := activeCoflows(states, t)
+		nextRel := nextRelease(states, t)
+		if len(active) == 0 {
+			if math.IsInf(nextRel, 1) {
+				break // everything done
+			}
+			t = nextRel
+			continue
+		}
+		res.Epochs++
+
+		// Priority: weighted SEBF on remaining bottleneck.
+		sort.SliceStable(active, func(a, b int) bool {
+			ka := bottleneck(active[a], flows, rowLoad, colLoad, m) / active[a].weight
+			kb := bottleneck(active[b], flows, rowLoad, colLoad, m) / active[b].weight
+			if ka != kb {
+				return ka < kb
+			}
+			return active[a].idx < active[b].idx
+		})
+
+		for i := 0; i < m; i++ {
+			rowRem[i], colRem[i] = 1, 1
+		}
+		for f := range flows {
+			flows[f].rate = 0
+		}
+
+		// MADD pass: give each coflow, in priority order, the minimum
+		// rates that finish it at its bottleneck time under the
+		// capacity left for it.
+		for _, st := range active {
+			gamma := 0.0
+			feasible := true
+			for i := 0; i < m; i++ {
+				rowLoad[i], colLoad[i] = 0, 0
+			}
+			for _, f := range st.flows {
+				fl := &flows[f]
+				if fl.remaining > eps {
+					rowLoad[fl.src] += fl.remaining
+					colLoad[fl.dst] += fl.remaining
+				}
+			}
+			for i := 0; i < m; i++ {
+				if rowLoad[i] > eps {
+					if rowRem[i] <= eps {
+						feasible = false
+						break
+					}
+					if g := rowLoad[i] / rowRem[i]; g > gamma {
+						gamma = g
+					}
+				}
+				if colLoad[i] > eps {
+					if colRem[i] <= eps {
+						feasible = false
+						break
+					}
+					if g := colLoad[i] / colRem[i]; g > gamma {
+						gamma = g
+					}
+				}
+			}
+			if !feasible || gamma <= eps {
+				continue // blocked this epoch (or has no work)
+			}
+			for _, f := range st.flows {
+				fl := &flows[f]
+				if fl.remaining <= eps {
+					continue
+				}
+				r := fl.remaining / gamma
+				fl.rate = r
+				rowRem[fl.src] -= r
+				colRem[fl.dst] -= r
+			}
+		}
+
+		// Work conservation: top up flows greedily in priority order.
+		for _, st := range active {
+			for _, f := range st.flows {
+				fl := &flows[f]
+				if fl.remaining <= eps {
+					continue
+				}
+				extra := math.Min(rowRem[fl.src], colRem[fl.dst])
+				if extra > eps {
+					fl.rate += extra
+					rowRem[fl.src] -= extra
+					colRem[fl.dst] -= extra
+				}
+			}
+		}
+
+		// Advance to the next event: a flow draining or a release.
+		dt := nextRel - t
+		for f := range flows {
+			fl := &flows[f]
+			if fl.rate > eps && fl.remaining > eps {
+				if d := fl.remaining / fl.rate; d < dt {
+					dt = d
+				}
+			}
+		}
+		if math.IsInf(dt, 1) {
+			return nil, fmt.Errorf("varys: no progress possible with work remaining")
+		}
+		if dt < eps {
+			dt = eps
+		}
+		t += dt
+		for f := range flows {
+			fl := &flows[f]
+			if fl.rate > eps && fl.remaining > eps {
+				fl.remaining -= fl.rate * dt
+				if fl.remaining < eps {
+					fl.remaining = 0
+				}
+				st := states[fl.coflow]
+				st.remaining -= fl.rate * dt
+			}
+		}
+		for _, st := range active {
+			if !st.done && coflowDrained(st, flows) {
+				st.done = true
+				res.Completion[st.idx] = t
+			}
+		}
+	}
+
+	for k := range ins.Coflows {
+		res.TotalWeighted += ins.Coflows[k].Weight * res.Completion[k]
+		if res.Completion[k] > res.Makespan {
+			res.Makespan = res.Completion[k]
+		}
+	}
+	return res, nil
+}
+
+func activeCoflows(states []*coflowState, t float64) []*coflowState {
+	var out []*coflowState
+	for _, st := range states {
+		if !st.done && st.release <= t+eps {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+func nextRelease(states []*coflowState, t float64) float64 {
+	next := math.Inf(1)
+	for _, st := range states {
+		if !st.done && st.release > t+eps && st.release < next {
+			next = st.release
+		}
+	}
+	return next
+}
+
+func bottleneck(st *coflowState, flows []flowState, rowLoad, colLoad []float64, m int) float64 {
+	for i := 0; i < m; i++ {
+		rowLoad[i], colLoad[i] = 0, 0
+	}
+	var b float64
+	for _, f := range st.flows {
+		fl := &flows[f]
+		if fl.remaining <= eps {
+			continue
+		}
+		rowLoad[fl.src] += fl.remaining
+		colLoad[fl.dst] += fl.remaining
+		if rowLoad[fl.src] > b {
+			b = rowLoad[fl.src]
+		}
+		if colLoad[fl.dst] > b {
+			b = colLoad[fl.dst]
+		}
+	}
+	return b
+}
+
+func coflowDrained(st *coflowState, flows []flowState) bool {
+	for _, f := range st.flows {
+		if flows[f].remaining > eps {
+			return false
+		}
+	}
+	return true
+}
