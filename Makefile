@@ -1,0 +1,21 @@
+# Standard developer entry points. Everything is stdlib-only Go; no
+# tools beyond the toolchain are required.
+
+.PHONY: build test check bench
+
+build:
+	go build ./...
+
+# Tier-1: the full suite (daemon wall-clock e2e skips under -short).
+test:
+	go build ./... && go test ./...
+
+# Pre-merge gate: vet everything, then race-test the packages with
+# real concurrency (the daemon's single-writer loop and the shared
+# online scheduling core it drives).
+check:
+	go vet ./...
+	go test -race ./internal/online/... ./internal/daemon/...
+
+bench:
+	go test -bench=. -benchmem -run=^$$ ./...

@@ -1,0 +1,111 @@
+// Command coflowd runs the resident coflow scheduling daemon: a
+// virtual m×m switch advanced slot-by-slot on a wall-clock tick, with
+// an HTTP/JSON control plane for registering, inspecting and
+// cancelling coflows and for reading live scheduler metrics.
+//
+// Usage:
+//
+//	coflowd [-addr :8080] [-ports 50] [-policy SEBF] [-tick 10ms]
+//	        [-deadline 0] [-max-body 1048576] [-window 1024]
+//	        [-snapshot state.json]
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
+// requests drain, the scheduler loop stops, and (with -snapshot) the
+// final state is written as JSON.
+//
+// See the README's "Running coflowd" section for curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"coflow/internal/daemon"
+	"coflow/internal/online"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coflowd: ")
+
+	addr := flag.String("addr", ":8080", "listen address for the HTTP control plane")
+	ports := flag.Int("ports", 50, "switch size m (ingress and egress ports)")
+	policyName := flag.String("policy", "SEBF", "scheduling priority: FIFO, SEBF, or WSPT")
+	tick := flag.Duration("tick", 10*time.Millisecond, "real-time duration of one scheduling slot")
+	deadline := flag.Duration("deadline", 0, "per-tick scheduling budget; a slower tick degrades the policy to FIFO (0 disables)")
+	maxBody := flag.Int64("max-body", 1<<20, "maximum request body size in bytes")
+	window := flag.Int("window", 1024, "rolling window size for latency and slowdown summaries")
+	snapshot := flag.String("snapshot", "", "write the final state snapshot to this file on shutdown")
+	drain := flag.Duration("drain", 5*time.Second, "maximum time to wait for in-flight requests on shutdown")
+	flag.Parse()
+
+	var policy online.Policy
+	switch *policyName {
+	case "FIFO":
+		policy = online.FIFO
+	case "SEBF":
+		policy = online.SEBF
+	case "WSPT":
+		policy = online.WSPT
+	default:
+		log.Fatalf("unknown -policy %q (want FIFO, SEBF, or WSPT)", *policyName)
+	}
+	if *tick <= 0 {
+		log.Fatal("-tick must be positive (the daemon's clock is the ticker)")
+	}
+
+	d, err := daemon.New(daemon.Config{
+		Ports:        *ports,
+		Policy:       policy,
+		Tick:         *tick,
+		Deadline:     *deadline,
+		MaxBody:      *maxBody,
+		Window:       *window,
+		SnapshotPath: *snapshot,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: d.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving on %s: m=%d policy=%s tick=%s deadline=%s",
+		*addr, *ports, policy, *tick, *deadline)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Print("signal received; draining")
+	case err := <-errc:
+		log.Fatal(err)
+	}
+
+	// Graceful shutdown: drain HTTP first so no handler races the
+	// closing scheduler loop, then stop the daemon (which writes the
+	// final snapshot).
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+	if *snapshot != "" {
+		if _, err := os.Stat(*snapshot); err == nil {
+			log.Printf("final state written to %s", *snapshot)
+		}
+	}
+	snap := d.Snapshot()
+	log.Printf("stopped at slot %d: %d registered, %d completed, %d cancelled",
+		snap.Slot, snap.Metrics.Registered, snap.Metrics.Completed, snap.Metrics.Cancelled)
+}

@@ -1,0 +1,73 @@
+package coflowmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Registration is the wire format for registering a coflow with a
+// running scheduler (coflowd's POST /v1/coflows): the caller supplies
+// demand and an optional weight; the service assigns the ID and the
+// release date ("now", the service's current slot). It is
+// deliberately a subset of Coflow — clients must not pick IDs or
+// backdate releases.
+type Registration struct {
+	// Weight is the coflow's weight w_k; zero means "default" (1).
+	Weight float64 `json:"weight,omitempty"`
+	// Flows is the sparse demand. Flows sharing a port pair
+	// accumulate. A registration with no positive demand is legal and
+	// completes at its release slot.
+	Flows []Flow `json:"flows"`
+}
+
+// Validate checks the registration against an m-port switch: weight
+// must not be negative (zero is the default), ports must be in range,
+// and sizes non-negative.
+func (reg *Registration) Validate(ports int) error {
+	if reg.Weight < 0 {
+		return fmt.Errorf("coflowmodel: registration has negative weight %g", reg.Weight)
+	}
+	for _, f := range reg.Flows {
+		if f.Src < 0 || f.Src >= ports || f.Dst < 0 || f.Dst >= ports {
+			return fmt.Errorf("coflowmodel: registration flow (%d→%d) outside %d ports", f.Src, f.Dst, ports)
+		}
+		if f.Size < 0 {
+			return fmt.Errorf("coflowmodel: registration has negative flow size %d", f.Size)
+		}
+	}
+	return nil
+}
+
+// Coflow materializes the registration as a Coflow with the
+// service-assigned ID and release slot, applying the default weight.
+// The flow slice is copied; the registration stays independent.
+func (reg *Registration) Coflow(id int, release int64) Coflow {
+	w := reg.Weight
+	if w == 0 {
+		w = 1
+	}
+	return Coflow{
+		ID:      id,
+		Weight:  w,
+		Release: release,
+		Flows:   append([]Flow(nil), reg.Flows...),
+	}
+}
+
+// ParseRegistration decodes a JSON registration from r and validates
+// it against an m-port switch. Unknown fields are rejected so typos in
+// client payloads fail loudly instead of silently registering an empty
+// coflow.
+func ParseRegistration(r io.Reader, ports int) (*Registration, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var reg Registration
+	if err := dec.Decode(&reg); err != nil {
+		return nil, fmt.Errorf("coflowmodel: decode registration: %w", err)
+	}
+	if err := reg.Validate(ports); err != nil {
+		return nil, err
+	}
+	return &reg, nil
+}

@@ -1,0 +1,62 @@
+package coflowmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistrationValidate(t *testing.T) {
+	good := Registration{Weight: 2, Flows: []Flow{{Src: 0, Dst: 1, Size: 3}}}
+	if err := good.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Registration{
+		{Weight: -1},
+		{Flows: []Flow{{Src: 2, Dst: 0, Size: 1}}},
+		{Flows: []Flow{{Src: 0, Dst: -1, Size: 1}}},
+		{Flows: []Flow{{Src: 0, Dst: 0, Size: -5}}},
+	}
+	for i, reg := range bad {
+		if err := reg.Validate(2); err == nil {
+			t.Errorf("bad registration %d accepted", i)
+		}
+	}
+}
+
+func TestRegistrationCoflowDefaultsWeight(t *testing.T) {
+	reg := Registration{Flows: []Flow{{Src: 0, Dst: 0, Size: 1}}}
+	c := reg.Coflow(7, 42)
+	if c.ID != 7 || c.Release != 42 || c.Weight != 1 {
+		t.Fatalf("Coflow = %+v, want ID 7, Release 42, Weight 1", c)
+	}
+	// The materialized flows are a copy.
+	c.Flows[0].Size = 99
+	if reg.Flows[0].Size != 1 {
+		t.Fatal("Coflow shares the registration's flow slice")
+	}
+	reg.Weight = 3
+	if w := reg.Coflow(1, 0).Weight; w != 3 {
+		t.Fatalf("explicit weight = %g, want 3", w)
+	}
+}
+
+func TestParseRegistration(t *testing.T) {
+	reg, err := ParseRegistration(strings.NewReader(
+		`{"weight": 2, "flows": [{"src": 0, "dst": 1, "size": 4}]}`), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Weight != 2 || len(reg.Flows) != 1 || reg.Flows[0].Size != 4 {
+		t.Fatalf("parsed %+v", reg)
+	}
+	for _, bad := range []string{
+		`{"flows": [{"src": 9, "dst": 0, "size": 1}]}`, // out of range
+		`{"weights": 2}`,    // unknown field
+		`{"flows": "nope"}`, // wrong type
+		`not json`,
+	} {
+		if _, err := ParseRegistration(strings.NewReader(bad), 2); err == nil {
+			t.Errorf("ParseRegistration accepted %q", bad)
+		}
+	}
+}

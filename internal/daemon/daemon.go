@@ -1,0 +1,484 @@
+// Package daemon implements coflowd, a resident coflow scheduling
+// service: the "works in real time in a real system" operation the
+// paper's concluding discussion asks for. It owns a virtual m×m
+// switch whose live state is an online.State, advances it slot by
+// slot on a tick, and exposes an HTTP/JSON control plane (see http.go)
+// for registering, inspecting and cancelling coflows.
+//
+// Concurrency model — single writer, snapshot readers:
+//
+//   - One event-loop goroutine owns ALL mutable scheduling state.
+//     Registrations, cancellations and ticks arrive as commands over
+//     one channel, so mutations are totally ordered and the scheduler
+//     core needs no locks.
+//   - After every mutation the loop publishes an immutable Snapshot
+//     through an atomic.Pointer. Reads (status, schedule, metrics,
+//     health) load the pointer and never touch the live state, so hot
+//     GETs cannot contend with — or be blocked by — a scheduling tick.
+//   - A ticker goroutine converts wall-clock time into tick commands.
+//     If the loop is still busy when a tick fires, the tick is
+//     dropped and counted (TicksSkipped) rather than queued, so the
+//     daemon degrades by slowing its virtual clock instead of
+//     building an unbounded backlog.
+//
+// Deadline guard: when Config.Deadline > 0 and a scheduling step
+// exceeds it, the daemon degrades to the cheap FIFO policy and only
+// returns to the configured policy after degradeHold consecutive
+// under-budget ticks (hysteresis, to avoid flapping at the boundary).
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coflow/internal/coflowmodel"
+	"coflow/internal/online"
+	"coflow/internal/stats"
+)
+
+// ErrClosed is returned for operations on a daemon that has shut down.
+var ErrClosed = errors.New("daemon: closed")
+
+// degradeHold is the number of consecutive under-budget FIFO ticks
+// required before the configured policy is restored.
+const degradeHold = 32
+
+// Config parametrizes a Daemon.
+type Config struct {
+	// Ports is the switch size m. Required, positive.
+	Ports int
+	// Policy is the scheduling priority (online.FIFO/SEBF/WSPT).
+	Policy online.Policy
+	// Tick is the real-time duration of one slot. Zero or negative
+	// disables the internal ticker; slots then advance only via
+	// Tick() (used by tests and by drivers with their own clock).
+	Tick time.Duration
+	// Deadline is the per-tick scheduling budget; a step exceeding it
+	// degrades the policy to FIFO (see package comment). Zero
+	// disables the guard.
+	Deadline time.Duration
+	// MaxBody caps request bodies in bytes; zero means 1 MiB.
+	MaxBody int64
+	// SnapshotPath, if non-empty, is where Close writes the final
+	// state snapshot as JSON.
+	SnapshotPath string
+	// Window is the rolling-window capacity for latency and slowdown
+	// summaries; zero means 1024.
+	Window int
+}
+
+// CoflowStatus is the externally visible state of one coflow.
+type CoflowStatus struct {
+	ID          int     `json:"id"`
+	Weight      float64 `json:"weight"`
+	Release     int64   `json:"release"`
+	TotalDemand int64   `json:"total_demand"`
+	Remaining   int64   `json:"remaining"`
+	// Load is ρ(D): the standalone lower bound on slots to clear.
+	Load int64 `json:"load"`
+	// State is "active", "completed" or "cancelled".
+	State string `json:"state"`
+	// Completed is the completion slot (present when State is
+	// "completed"; a zero-demand coflow completes at its release).
+	Completed int64 `json:"completed,omitempty"`
+	// Slowdown is Completed / (Release + Load), the standard quality
+	// metric (1.0 is unimprovable). Present when completed.
+	Slowdown float64 `json:"slowdown,omitempty"`
+}
+
+// Metrics is the live observability payload of GET /v1/metrics.
+type Metrics struct {
+	Slot          int64   `json:"slot"`
+	Ticks         int64   `json:"ticks"`
+	TicksSkipped  int64   `json:"ticks_skipped"`
+	Policy        string  `json:"policy"`
+	ActivePolicy  string  `json:"active_policy"`
+	Degraded      bool    `json:"degraded"`
+	ActiveCoflows int     `json:"active_coflows"`
+	Registered    int64   `json:"registered"`
+	Completed     int64   `json:"completed"`
+	Cancelled     int64   `json:"cancelled"`
+	QueueDepth    int     `json:"queue_depth"`
+	TotalWeighted float64 `json:"total_weighted_completion"`
+	LastTickSecs  float64 `json:"last_tick_seconds"`
+	// TickLatency summarizes the rolling window of per-slot
+	// scheduling latencies, in seconds.
+	TickLatency stats.Summary `json:"tick_latency"`
+	// Slowdown summarizes the rolling window of completed-coflow
+	// slowdowns.
+	Slowdown stats.Summary `json:"slowdown"`
+}
+
+// Snapshot is the immutable read-side view published after every
+// mutation, and the JSON document written at shutdown.
+type Snapshot struct {
+	Slot    int64                 `json:"slot"`
+	Coflows map[int]*CoflowStatus `json:"coflows"`
+	// Schedule is the matching served in the most recent tick.
+	Schedule []online.Assignment `json:"schedule"`
+	Metrics  Metrics             `json:"metrics"`
+}
+
+// coflowInfo is the loop-private bookkeeping for one coflow.
+type coflowInfo struct {
+	id        int
+	weight    float64
+	release   int64
+	total     int64
+	load      int64
+	completed int64 // completion slot, -1 while live
+	cancelled bool
+}
+
+type command struct {
+	// exactly one of the following is set
+	reg    *coflowmodel.Registration
+	cancel int  // coflow ID, when > 0 and reg == nil
+	tick   bool // advance one slot
+
+	reply chan reply // nil for fire-and-forget ticker ticks
+}
+
+type reply struct {
+	id      int   // assigned coflow ID (register)
+	release int64 // assigned release slot (register)
+	err     error
+}
+
+// Daemon is a resident coflow scheduler. Create with New, serve its
+// Handler, and Close it to shut down.
+type Daemon struct {
+	cfg  config
+	cmds chan command
+	quit chan struct{}
+	done chan struct{} // loop exited
+	snap atomic.Pointer[Snapshot]
+
+	skippedTicks atomic.Int64
+	closeOnce    sync.Once
+	closeErr     error
+}
+
+// config is Config with defaults resolved.
+type config struct {
+	Config
+}
+
+// New validates cfg, starts the event loop (and the ticker when
+// cfg.Tick > 0), and returns the running daemon.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Ports <= 0 {
+		return nil, fmt.Errorf("daemon: non-positive port count %d", cfg.Ports)
+	}
+	switch cfg.Policy {
+	case online.FIFO, online.SEBF, online.WSPT:
+	default:
+		return nil, fmt.Errorf("daemon: unknown policy %v", cfg.Policy)
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 1 << 20
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1024
+	}
+	d := &Daemon{
+		cfg:  config{cfg},
+		cmds: make(chan command, 64),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	d.snap.Store(&Snapshot{Coflows: map[int]*CoflowStatus{}, Metrics: Metrics{
+		Policy: cfg.Policy.String(), ActivePolicy: cfg.Policy.String(),
+	}})
+	go d.loop()
+	if cfg.Tick > 0 {
+		go d.ticker()
+	}
+	return d, nil
+}
+
+// Snapshot returns the most recently published read-side view. The
+// returned value is shared and must not be mutated.
+func (d *Daemon) Snapshot() *Snapshot { return d.snap.Load() }
+
+// Register submits a coflow registration. It returns the assigned ID
+// and release slot; the coflow is released "now" (eligible from the
+// next slot).
+func (d *Daemon) Register(reg *coflowmodel.Registration) (id int, release int64, err error) {
+	if err := reg.Validate(d.cfg.Ports); err != nil {
+		return 0, 0, err
+	}
+	r, err := d.send(command{reg: reg})
+	return r.id, r.release, err
+}
+
+// Cancel cancels the live coflow with the given ID. It fails if the
+// ID is unknown or the coflow already completed.
+func (d *Daemon) Cancel(id int) error {
+	_, err := d.send(command{cancel: id})
+	return err
+}
+
+// Tick advances the virtual clock one slot synchronously. It is how
+// tests (and external clocks, when Config.Tick is 0) drive the
+// scheduler deterministically.
+func (d *Daemon) Tick() error {
+	_, err := d.send(command{tick: true})
+	return err
+}
+
+// send submits a command and waits for the loop's reply; the returned
+// error is either a submission failure (daemon closed) or the loop's
+// verdict on the command itself.
+func (d *Daemon) send(c command) (reply, error) {
+	c.reply = make(chan reply, 1)
+	select {
+	case d.cmds <- c:
+	case <-d.quit:
+		return reply{}, ErrClosed
+	}
+	r := <-c.reply
+	return r, r.err
+}
+
+// Close stops the ticker and the event loop, waits for the loop to
+// exit, and writes the final state snapshot to Config.SnapshotPath if
+// one is configured. Shut the HTTP server down first so in-flight
+// requests drain. Close is idempotent.
+func (d *Daemon) Close() error {
+	d.closeOnce.Do(func() {
+		close(d.quit)
+		<-d.done
+		// Commands that raced past the quit check are failed by a
+		// perpetual drain (started by the loop on exit), so no caller
+		// of send can block forever.
+		if d.cfg.SnapshotPath != "" {
+			d.closeErr = d.writeSnapshot(d.cfg.SnapshotPath)
+		}
+	})
+	return d.closeErr
+}
+
+// writeSnapshot dumps the final state as indented JSON.
+func (d *Daemon) writeSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d.Snapshot()); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ticker converts wall time into tick commands, dropping (and
+// counting) ticks the loop cannot absorb in time.
+func (d *Daemon) ticker() {
+	t := time.NewTicker(d.cfg.Tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.quit:
+			return
+		case <-t.C:
+			select {
+			case d.cmds <- command{tick: true}:
+			case <-d.quit:
+				return
+			default:
+				d.skippedTicks.Add(1)
+			}
+		}
+	}
+}
+
+// loop is the single writer: it owns every piece of mutable
+// scheduling state below and is the only goroutine that touches it.
+func (d *Daemon) loop() {
+	defer close(d.done)
+
+	state := online.NewState(d.cfg.Ports)
+	coflows := map[int]*coflowInfo{}
+	var (
+		slot         int64
+		nextID       = 1
+		ticks        int64
+		registered   int64
+		completedN   int64
+		cancelledN   int64
+		totalWC      float64
+		lastSchedule []online.Assignment
+		lastTick     time.Duration
+		degraded     bool
+		goodTicks    int // consecutive under-budget ticks while degraded
+	)
+	latency := stats.NewRolling(d.cfg.Window)
+	slowdown := stats.NewRolling(d.cfg.Window)
+
+	publish := func() {
+		view := &Snapshot{
+			Slot:     slot,
+			Coflows:  make(map[int]*CoflowStatus, len(coflows)),
+			Schedule: lastSchedule,
+		}
+		for id, ci := range coflows {
+			cs := &CoflowStatus{
+				ID: id, Weight: ci.weight, Release: ci.release,
+				TotalDemand: ci.total, Load: ci.load,
+			}
+			switch {
+			case ci.cancelled:
+				cs.State = "cancelled"
+			case ci.completed >= 0:
+				cs.State = "completed"
+				cs.Completed = ci.completed
+				if denom := ci.release + ci.load; denom > 0 {
+					cs.Slowdown = float64(ci.completed) / float64(denom)
+				} else {
+					cs.Slowdown = 1
+				}
+			default:
+				cs.State = "active"
+				cs.Remaining, _ = state.Remaining(id)
+			}
+			view.Coflows[id] = cs
+		}
+		active := d.cfg.Policy
+		if degraded {
+			active = online.FIFO
+		}
+		view.Metrics = Metrics{
+			Slot:          slot,
+			Ticks:         ticks,
+			TicksSkipped:  d.skippedTicks.Load(),
+			Policy:        d.cfg.Policy.String(),
+			ActivePolicy:  active.String(),
+			Degraded:      degraded,
+			ActiveCoflows: state.Len(),
+			Registered:    registered,
+			Completed:     completedN,
+			Cancelled:     cancelledN,
+			QueueDepth:    len(d.cmds),
+			TotalWeighted: totalWC,
+			LastTickSecs:  lastTick.Seconds(),
+			TickLatency:   latency.Summary(),
+			Slowdown:      slowdown.Summary(),
+		}
+		d.snap.Store(view)
+	}
+
+	complete := func(ci *coflowInfo, at int64) {
+		ci.completed = at
+		completedN++
+		totalWC += ci.weight * float64(at)
+		if denom := ci.release + ci.load; denom > 0 {
+			slowdown.Observe(float64(at) / float64(denom))
+		} else {
+			slowdown.Observe(1)
+		}
+	}
+
+	handle := func(c command) reply {
+		switch {
+		case c.reg != nil:
+			id := nextID
+			nextID++
+			cf := c.reg.Coflow(id, slot)
+			remaining, err := state.Add(id, cf.Weight, cf.Release, cf.Flows)
+			if err != nil {
+				return reply{err: err}
+			}
+			ci := &coflowInfo{
+				id: id, weight: cf.Weight, release: slot,
+				total: cf.TotalSize(), load: cf.Load(d.cfg.Ports),
+				completed: -1,
+			}
+			coflows[id] = ci
+			registered++
+			if remaining == 0 {
+				// No demand: complete the moment it is released.
+				complete(ci, slot)
+			}
+			return reply{id: id, release: slot}
+
+		case c.tick:
+			policy := d.cfg.Policy
+			if degraded {
+				policy = online.FIFO
+			}
+			start := time.Now()
+			res := state.Step(slot+1, policy)
+			elapsed := time.Since(start)
+			slot++
+			ticks++
+			lastTick = elapsed
+			latency.Observe(elapsed.Seconds())
+			lastSchedule = res.Served
+			for _, id := range res.Completed {
+				complete(coflows[id], slot)
+			}
+			if d.cfg.Deadline > 0 {
+				switch {
+				case elapsed > d.cfg.Deadline:
+					degraded = true
+					goodTicks = 0
+				case degraded:
+					if goodTicks++; goodTicks >= degradeHold {
+						degraded = false
+						goodTicks = 0
+					}
+				}
+			}
+			return reply{}
+
+		default: // cancel
+			ci, ok := coflows[c.cancel]
+			if !ok {
+				return reply{err: fmt.Errorf("daemon: unknown coflow %d", c.cancel)}
+			}
+			if ci.cancelled {
+				return reply{err: fmt.Errorf("daemon: coflow %d already cancelled", c.cancel)}
+			}
+			if ci.completed >= 0 {
+				return reply{err: fmt.Errorf("daemon: coflow %d already completed", c.cancel)}
+			}
+			state.Remove(c.cancel)
+			ci.cancelled = true
+			cancelledN++
+			return reply{}
+		}
+	}
+
+	publish()
+	for {
+		select {
+		case <-d.quit:
+			publish()
+			// Perpetual drain: fail any command that raced past the
+			// quit check so its sender never blocks. One goroutine,
+			// parked on an empty channel for the process lifetime.
+			go func() {
+				for c := range d.cmds {
+					if c.reply != nil {
+						c.reply <- reply{err: ErrClosed}
+					}
+				}
+			}()
+			return
+		case c := <-d.cmds:
+			r := handle(c)
+			publish()
+			if c.reply != nil {
+				c.reply <- r
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"coflow/internal/coflowmodel"
+	"coflow/internal/online"
+)
+
+// Handler returns the daemon's HTTP control plane:
+//
+//	POST   /v1/coflows      register a coflow (Registration JSON body)
+//	GET    /v1/coflows      list every known coflow
+//	GET    /v1/coflows/{id} one coflow's status
+//	DELETE /v1/coflows/{id} cancel a live coflow
+//	GET    /v1/schedule     the matching served in the latest slot
+//	GET    /v1/metrics      live scheduler metrics
+//	GET    /healthz         liveness
+//
+// All GETs are served from the latest atomic snapshot and never touch
+// the scheduler loop. Errors are structured JSON: {"error": "..."}.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/coflows", d.handleRegister)
+	mux.HandleFunc("GET /v1/coflows", d.handleList)
+	mux.HandleFunc("GET /v1/coflows/{id}", d.handleGet)
+	mux.HandleFunc("DELETE /v1/coflows/{id}", d.handleCancel)
+	mux.HandleFunc("GET /v1/schedule", d.handleSchedule)
+	mux.HandleFunc("GET /v1/metrics", d.handleMetrics)
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (d *Daemon) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, d.cfg.MaxBody)
+	reg, err := coflowmodel.ParseRegistration(body, d.cfg.Ports)
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, err.Error())
+		return
+	}
+	id, release, err := d.Register(reg)
+	if err != nil {
+		if errors.Is(err, ErrClosed) {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "release": release})
+}
+
+// pathID parses the {id} path segment.
+func pathID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id <= 0 {
+		writeError(w, http.StatusBadRequest, "coflow id must be a positive integer")
+		return 0, false
+	}
+	return id, true
+}
+
+func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	cs, ok := d.Snapshot().Coflows[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown coflow "+strconv.Itoa(id))
+		return
+	}
+	writeJSON(w, http.StatusOK, cs)
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
+	snap := d.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"slot":    snap.Slot,
+		"coflows": snap.Coflows,
+	})
+}
+
+func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	if err := d.Cancel(id); err != nil {
+		switch {
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		case d.Snapshot().Coflows[id] == nil:
+			writeError(w, http.StatusNotFound, err.Error())
+		default: // known but already completed/cancelled
+			writeError(w, http.StatusConflict, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "cancelled": true})
+}
+
+func (d *Daemon) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	snap := d.Snapshot()
+	assignments := snap.Schedule
+	if assignments == nil {
+		assignments = []online.Assignment{} // render [] rather than null
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"slot":        snap.Slot,
+		"policy":      snap.Metrics.ActivePolicy,
+		"assignments": assignments,
+	})
+}
+
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.Snapshot().Metrics)
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-d.quit:
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "slot": d.Snapshot().Slot})
+	}
+}

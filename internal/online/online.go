@@ -63,7 +63,7 @@ type pairDemand struct {
 }
 
 type cfState struct {
-	idx       int
+	key       int // caller's identifier (batch runs use the instance index)
 	release   int64
 	weight    float64
 	pairs     []pairDemand
@@ -95,7 +95,7 @@ func SimulateOrder(ins *coflowmodel.Instance, order []int) (*Result, error) {
 	}
 	return simulate(ins, func(active []*cfState) {
 		sort.SliceStable(active, func(a, b int) bool {
-			return rank[active[a].idx] < rank[active[b].idx]
+			return rank[active[a].key] < rank[active[b].key]
 		})
 	})
 }
@@ -113,98 +113,42 @@ func Simulate(ins *coflowmodel.Instance, policy Policy) (*Result, error) {
 	})
 }
 
-// simulate is the shared slot loop: reorder is called on the active
-// set before each slot's greedy matching is built.
+// simulate is the batch driver over the incremental State/step core
+// (the same code path a resident scheduler uses): load every coflow,
+// then step slot by slot, skipping idle gaps between arrivals.
 func simulate(ins *coflowmodel.Instance, reorder func([]*cfState)) (*Result, error) {
 	if err := ins.Validate(); err != nil {
 		return nil, err
 	}
-	m := ins.Ports
 	n := len(ins.Coflows)
-
-	states := make([]*cfState, 0, n)
+	state := NewState(ins.Ports)
 	res := &Result{Completion: make([]int64, n)}
-	var totalWork int64
 	for k := range ins.Coflows {
 		c := &ins.Coflows[k]
-		st := &cfState{idx: k, release: c.Release, weight: c.Weight}
-		agg := map[[2]int]int64{}
-		for _, f := range c.Flows {
-			if f.Size > 0 {
-				agg[[2]int{f.Src, f.Dst}] += f.Size
-			}
+		remaining, err := state.Add(k, c.Weight, c.Release, c.Flows)
+		if err != nil {
+			return nil, err
 		}
-		keys := make([][2]int, 0, len(agg))
-		for key := range agg {
-			keys = append(keys, key)
-		}
-		sort.Slice(keys, func(a, b int) bool {
-			if keys[a][0] != keys[b][0] {
-				return keys[a][0] < keys[b][0]
-			}
-			return keys[a][1] < keys[b][1]
-		})
-		for _, key := range keys {
-			st.pairs = append(st.pairs, pairDemand{src: key[0], dst: key[1], remaining: agg[key]})
-			st.remaining += agg[key]
-		}
-		if st.remaining == 0 {
+		if remaining == 0 {
 			res.Completion[k] = c.Release
-			continue
 		}
-		totalWork += st.remaining
-		states = append(states, st)
 	}
 
-	rowBusy := make([]bool, m)
-	colBusy := make([]bool, m)
 	var t int64
 	horizon := ins.Horizon() + 1
-	for remainingCoflows := len(states); remainingCoflows > 0; {
+	for state.Len() > 0 {
 		if t > horizon {
 			return nil, fmt.Errorf("online: exceeded horizon %d with work remaining (scheduler stalled)", horizon)
 		}
-		// Active (released, unfinished) coflows at the start of slot t+1.
-		var active []*cfState
-		nextRelease := int64(-1)
-		for _, st := range states {
-			if st.remaining == 0 {
-				continue
-			}
-			if st.release <= t {
-				active = append(active, st)
-			} else if nextRelease < 0 || st.release < nextRelease {
-				nextRelease = st.release
-			}
-		}
-		if len(active) == 0 {
-			t = nextRelease // idle until the next arrival
+		step := state.step(t+1, reorder)
+		if step.Active == 0 {
+			t = state.NextRelease(t) // idle until the next arrival
 			continue
 		}
-		reorder(active)
-
-		for i := range rowBusy {
-			rowBusy[i] = false
-			colBusy[i] = false
+		for _, k := range step.Completed {
+			res.Completion[k] = step.Slot
 		}
-		slot := t + 1
-		for _, st := range active {
-			for pi := range st.pairs {
-				p := &st.pairs[pi]
-				if p.remaining == 0 || rowBusy[p.src] || colBusy[p.dst] {
-					continue
-				}
-				rowBusy[p.src] = true
-				colBusy[p.dst] = true
-				p.remaining--
-				st.remaining--
-			}
-			if st.remaining == 0 {
-				res.Completion[st.idx] = slot
-				remainingCoflows--
-			}
-		}
-		t = slot
+		t = step.Slot
 	}
 	res.Slots = t
 	for k := range ins.Coflows {
@@ -223,7 +167,7 @@ func prioritize(active []*cfState, policy Policy) {
 			if active[a].release != active[b].release {
 				return active[a].release < active[b].release
 			}
-			return active[a].idx < active[b].idx
+			return active[a].key < active[b].key
 		})
 	case SEBF:
 		sort.SliceStable(active, func(a, b int) bool {
@@ -232,7 +176,7 @@ func prioritize(active []*cfState, policy Policy) {
 			if ka != kb {
 				return ka < kb
 			}
-			return active[a].idx < active[b].idx
+			return active[a].key < active[b].key
 		})
 	case WSPT:
 		sort.SliceStable(active, func(a, b int) bool {
@@ -241,7 +185,7 @@ func prioritize(active []*cfState, policy Policy) {
 			if ka != kb {
 				return ka < kb
 			}
-			return active[a].idx < active[b].idx
+			return active[a].key < active[b].key
 		})
 	}
 }

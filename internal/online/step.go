@@ -1,0 +1,232 @@
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"coflow/internal/coflowmodel"
+)
+
+// State is the live state of the per-slot greedy scheduler: the set of
+// registered-but-unfinished coflows on an m×m switch. It is the
+// incremental counterpart of Simulate — a resident scheduler (such as
+// cmd/coflowd) adds and removes coflows while repeatedly calling Step,
+// and the batch Simulate/SimulateOrder entry points drive the exact
+// same code path, so the two cannot drift apart.
+//
+// A State is NOT safe for concurrent use; callers serialize access
+// (coflowd does so with a single-writer event loop).
+type State struct {
+	ports int
+	// live coflows in insertion order (the deterministic FIFO
+	// tie-break base); completed and removed entries are deleted.
+	list  []*cfState
+	index map[int]*cfState
+	// scratch reused across steps
+	rowBusy, colBusy []bool
+	active           []*cfState
+}
+
+// Assignment is one unit of service in a slot: coflow Key sends one
+// data unit from ingress Src to egress Dst.
+type Assignment struct {
+	Key int `json:"key"`
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+}
+
+// StepResult reports one slot of scheduling.
+type StepResult struct {
+	// Slot is the slot that was just served.
+	Slot int64
+	// Served lists the unit transfers of the slot (a matching: each
+	// ingress and each egress appears at most once).
+	Served []Assignment
+	// Completed lists the keys of coflows whose last unit transferred
+	// in this slot. They are removed from the State.
+	Completed []int
+	// Active is the number of released, unfinished coflows that were
+	// eligible in this slot (0 means the slot was idle).
+	Active int
+}
+
+// NewState creates an empty scheduler state for an m-port switch.
+// It panics if ports is not positive.
+func NewState(ports int) *State {
+	if ports <= 0 {
+		panic(fmt.Sprintf("online: non-positive port count %d", ports))
+	}
+	return &State{
+		ports:   ports,
+		index:   make(map[int]*cfState),
+		rowBusy: make([]bool, ports),
+		colBusy: make([]bool, ports),
+	}
+}
+
+// Ports returns the switch size m.
+func (s *State) Ports() int { return s.ports }
+
+// Len returns the number of live (unfinished, not removed) coflows,
+// released or not.
+func (s *State) Len() int { return len(s.list) }
+
+// Add registers a coflow under key with the given weight, release slot
+// and flows. Flows sharing a port pair accumulate. It returns the
+// coflow's total demand; a zero-demand coflow is NOT retained (it is
+// complete the moment it is released, and the caller records that).
+// Add fails on a duplicate live key, a non-positive weight, an
+// out-of-range port, or a negative flow size.
+func (s *State) Add(key int, weight float64, release int64, flows []coflowmodel.Flow) (int64, error) {
+	if _, ok := s.index[key]; ok {
+		return 0, fmt.Errorf("online: duplicate coflow key %d", key)
+	}
+	if weight <= 0 {
+		return 0, fmt.Errorf("online: coflow %d has non-positive weight %g", key, weight)
+	}
+	if release < 0 {
+		return 0, fmt.Errorf("online: coflow %d has negative release %d", key, release)
+	}
+	agg := map[[2]int]int64{}
+	for _, f := range flows {
+		if f.Src < 0 || f.Src >= s.ports || f.Dst < 0 || f.Dst >= s.ports {
+			return 0, fmt.Errorf("online: coflow %d flow (%d→%d) outside %d ports", key, f.Src, f.Dst, s.ports)
+		}
+		if f.Size < 0 {
+			return 0, fmt.Errorf("online: coflow %d has negative flow size %d", key, f.Size)
+		}
+		if f.Size > 0 {
+			agg[[2]int{f.Src, f.Dst}] += f.Size
+		}
+	}
+	st := &cfState{key: key, release: release, weight: weight}
+	keys := make([][2]int, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, k := range keys {
+		st.pairs = append(st.pairs, pairDemand{src: k[0], dst: k[1], remaining: agg[k]})
+		st.remaining += agg[k]
+	}
+	if st.remaining == 0 {
+		return 0, nil
+	}
+	s.list = append(s.list, st)
+	s.index[key] = st
+	return st.remaining, nil
+}
+
+// Remove cancels the live coflow under key, reporting whether it was
+// present. Its unserved demand is discarded.
+func (s *State) Remove(key int) bool {
+	st, ok := s.index[key]
+	if !ok {
+		return false
+	}
+	s.drop(st)
+	return true
+}
+
+// Remaining returns the total unserved demand of the live coflow under
+// key, or (0, false) if it is not live.
+func (s *State) Remaining(key int) (int64, bool) {
+	st, ok := s.index[key]
+	if !ok {
+		return 0, false
+	}
+	return st.remaining, true
+}
+
+// NextRelease returns the earliest release strictly after t among live
+// coflows, or -1 if there is none. Batch drivers use it to skip idle
+// slots; a wall-clock daemon never needs it.
+func (s *State) NextRelease(t int64) int64 {
+	next := int64(-1)
+	for _, st := range s.list {
+		if st.release > t && (next < 0 || st.release < next) {
+			next = st.release
+		}
+	}
+	return next
+}
+
+// Step serves one slot under the given policy: it builds a greedy
+// maximal matching over the remaining demand of the coflows released
+// before slot (release ≤ slot−1), visiting them in the policy's
+// priority order, transfers one unit on every matched pair, and
+// removes the coflows that finish.
+//
+// Approximation caveat: Step commits to a greedy MAXIMAL matching with
+// O(1) lookahead, not a maximum one, so in the worst case a demand
+// matrix D needs up to 2ρ(D)−1 slots to clear versus the ρ(D) of a
+// Birkhoff–von Neumann decomposition — the classical factor-2 slot
+// overhead. That is the price of an incremental API whose per-slot
+// work is near-linear in the live demand; the paper's offline
+// constant-factor guarantees do not transfer to this scheduler.
+func (s *State) Step(slot int64, policy Policy) StepResult {
+	return s.step(slot, func(active []*cfState) {
+		if policy == SEBF {
+			for _, st := range active {
+				refreshBottleneck(st, s.ports)
+			}
+		}
+		prioritize(active, policy)
+	})
+}
+
+// step is the shared slot core: reorder fixes the priority order of
+// the active set, then the greedy matching is built in that order.
+func (s *State) step(slot int64, reorder func([]*cfState)) StepResult {
+	res := StepResult{Slot: slot}
+	s.active = s.active[:0]
+	for _, st := range s.list {
+		if st.release < slot && st.remaining > 0 {
+			s.active = append(s.active, st)
+		}
+	}
+	res.Active = len(s.active)
+	if res.Active == 0 {
+		return res
+	}
+	reorder(s.active)
+
+	for i := range s.rowBusy {
+		s.rowBusy[i] = false
+		s.colBusy[i] = false
+	}
+	for _, st := range s.active {
+		for pi := range st.pairs {
+			p := &st.pairs[pi]
+			if p.remaining == 0 || s.rowBusy[p.src] || s.colBusy[p.dst] {
+				continue
+			}
+			s.rowBusy[p.src] = true
+			s.colBusy[p.dst] = true
+			p.remaining--
+			st.remaining--
+			res.Served = append(res.Served, Assignment{Key: st.key, Src: p.src, Dst: p.dst})
+		}
+		if st.remaining == 0 {
+			res.Completed = append(res.Completed, st.key)
+			s.drop(st)
+		}
+	}
+	return res
+}
+
+// drop removes st from the live list and index.
+func (s *State) drop(st *cfState) {
+	delete(s.index, st.key)
+	for i, cur := range s.list {
+		if cur == st {
+			s.list = append(s.list[:i], s.list[i+1:]...)
+			return
+		}
+	}
+}

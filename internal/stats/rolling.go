@@ -1,0 +1,54 @@
+package stats
+
+// Rolling keeps the most recent observations of a stream in a
+// fixed-capacity ring and summarizes the current window on demand.
+// A resident scheduler (cmd/coflowd) uses it for per-slot scheduler
+// latencies and completed-coflow slowdowns: memory stays bounded no
+// matter how long the daemon runs, while the summary tracks recent
+// behaviour rather than the all-time mix.
+//
+// Rolling is not safe for concurrent use; the daemon's single-writer
+// loop owns it and publishes Summary() values in read-only snapshots.
+type Rolling struct {
+	buf   []float64
+	next  int   // ring write position
+	total int64 // observations ever seen
+}
+
+// NewRolling creates a window over the most recent capacity
+// observations. It panics if capacity is not positive.
+func NewRolling(capacity int) *Rolling {
+	if capacity <= 0 {
+		panic("stats: non-positive Rolling capacity")
+	}
+	return &Rolling{buf: make([]float64, 0, capacity)}
+}
+
+// Observe appends one value, evicting the oldest when the window is
+// full.
+func (r *Rolling) Observe(v float64) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, v)
+	} else {
+		r.buf[r.next] = v
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+}
+
+// Total returns the number of observations ever made (not just those
+// still in the window).
+func (r *Rolling) Total() int64 { return r.total }
+
+// Last returns the most recent observation, or 0 before any.
+func (r *Rolling) Last() float64 {
+	if r.total == 0 {
+		return 0
+	}
+	return r.buf[(r.next-1+cap(r.buf))%cap(r.buf)]
+}
+
+// Summary summarizes the current window.
+func (r *Rolling) Summary() Summary {
+	return Summarize(r.buf)
+}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRollingBeforeAnyObservation(t *testing.T) {
+	r := NewRolling(4)
+	if r.Total() != 0 || r.Last() != 0 {
+		t.Fatalf("fresh Rolling: Total=%d Last=%g", r.Total(), r.Last())
+	}
+	if s := r.Summary(); s.Count != 0 {
+		t.Fatalf("fresh Summary = %+v", s)
+	}
+}
+
+func TestRollingPartialWindow(t *testing.T) {
+	r := NewRolling(10)
+	r.Observe(2)
+	r.Observe(4)
+	s := r.Summary()
+	if s.Count != 2 || s.Min != 2 || s.Max != 4 || math.Abs(s.Mean-3) > 1e-12 {
+		t.Fatalf("partial window summary = %+v", s)
+	}
+	if r.Last() != 4 || r.Total() != 2 {
+		t.Fatalf("Last=%g Total=%d", r.Last(), r.Total())
+	}
+}
+
+func TestRollingEvictsOldest(t *testing.T) {
+	r := NewRolling(3)
+	for _, v := range []float64{100, 1, 2, 3} { // 100 evicted
+		r.Observe(v)
+	}
+	s := r.Summary()
+	if s.Count != 3 || s.Max != 3 || s.Min != 1 {
+		t.Fatalf("window after eviction = %+v", s)
+	}
+	if r.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", r.Total())
+	}
+	if r.Last() != 3 {
+		t.Fatalf("Last = %g, want 3", r.Last())
+	}
+	// Wrap fully around twice more.
+	for v := 10.0; v < 16; v++ {
+		r.Observe(v)
+	}
+	s = r.Summary()
+	if s.Min != 13 || s.Max != 15 || r.Last() != 15 {
+		t.Fatalf("after wrap: %+v last=%g", s, r.Last())
+	}
+}
+
+func TestNewRollingPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 accepted")
+		}
+	}()
+	NewRolling(0)
+}

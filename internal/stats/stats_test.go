@@ -45,6 +45,42 @@ func TestSummarizeEmptyAndSingle(t *testing.T) {
 	}
 }
 
+func TestSummarizeConstantInput(t *testing.T) {
+	s := Summarize([]float64{6, 6, 6, 6, 6})
+	if s.StdDev != 0 {
+		t.Fatalf("StdDev = %g, want exactly 0 on constant input", s.StdDev)
+	}
+	if s.P50 != s.P99 || s.P50 != 6 {
+		t.Fatalf("P50/P99 = %g/%g, want both exactly 6", s.P50, s.P99)
+	}
+	if s.Min != 6 || s.Max != 6 || s.Mean != 6 {
+		t.Fatalf("constant summary = %+v", s)
+	}
+}
+
+// A coflow released at t=0 that completes at its standalone lower
+// bound ρ has slowdown exactly 1.0 — no rounding slack allowed.
+func TestSlowdownAtLowerBoundIsExactlyOne(t *testing.T) {
+	ins := &coflowmodel.Instance{
+		Ports: 2,
+		Coflows: []coflowmodel.Coflow{{
+			ID: 1, Weight: 1, Release: 0,
+			Flows: []coflowmodel.Flow{
+				{Src: 0, Dst: 0, Size: 1}, {Src: 0, Dst: 1, Size: 2},
+				{Src: 1, Dst: 0, Size: 2}, {Src: 1, Dst: 1, Size: 1},
+			},
+		}},
+	}
+	load := ins.Coflows[0].Load(2)
+	if load != 3 {
+		t.Fatalf("ρ(D) = %d, want 3", load)
+	}
+	sd := Slowdowns(ins, []int64{load})
+	if sd[0] != 1.0 {
+		t.Fatalf("slowdown at lower bound = %v, want exactly 1.0", sd[0])
+	}
+}
+
 func TestSummarizeDoesNotMutateInput(t *testing.T) {
 	in := []float64{3, 1, 2}
 	Summarize(in)

@@ -1,0 +1,81 @@
+package switchsim
+
+import (
+	"strings"
+	"testing"
+
+	"coflow/internal/coflowmodel"
+)
+
+// A transcript longer than maxSlots must render the truncation marker
+// and exactly maxSlots columns per port row (TestRenderGanttTruncation
+// in record_test.go checks the marker on the recorded-execution path;
+// this pins the column count on a hand-built transcript).
+func TestRenderGanttTruncationColumnCount(t *testing.T) {
+	const maxSlots = 10
+	ins := &coflowmodel.Instance{
+		Ports: 2,
+		Coflows: []coflowmodel.Coflow{
+			{ID: 1, Weight: 1, Flows: []coflowmodel.Flow{{Src: 0, Dst: 0, Size: 25}}},
+		},
+	}
+	tr := &Transcript{Ports: 2}
+	for slot := int64(1); slot <= 25; slot++ {
+		tr.Services = append(tr.Services, UnitService{Slot: slot, Src: 0, Dst: 0, Coflow: 0})
+	}
+
+	out := RenderGantt(ins, tr, maxSlots)
+	if !strings.Contains(out, "truncated") {
+		t.Fatalf("no truncation marker in:\n%s", out)
+	}
+	if !strings.Contains(out, "slots 1..10") {
+		t.Fatalf("header does not show the truncated horizon:\n%s", out)
+	}
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		start := strings.IndexByte(line, '|')
+		if start < 0 {
+			continue
+		}
+		end := strings.LastIndexByte(line, '|')
+		if end <= start {
+			t.Fatalf("unterminated row %q", line)
+		}
+		if cols := end - start - 1; cols != maxSlots {
+			t.Fatalf("row %q has %d columns, want %d", line, cols, maxSlots)
+		}
+		rows++
+	}
+	if rows != 2 {
+		t.Fatalf("rendered %d port rows, want 2", rows)
+	}
+	// The served port shows the coflow symbol in every kept slot; the
+	// idle port is all dots.
+	if !strings.Contains(out, "|"+strings.Repeat("1", maxSlots)+"|") {
+		t.Fatalf("port 0 row not fully served:\n%s", out)
+	}
+	if !strings.Contains(out, "|"+strings.Repeat(".", maxSlots)+"|") {
+		t.Fatalf("port 1 row not idle:\n%s", out)
+	}
+}
+
+// At exactly maxSlots no marker appears and nothing is dropped.
+func TestRenderGanttNoTruncationAtBoundary(t *testing.T) {
+	ins := &coflowmodel.Instance{
+		Ports: 1,
+		Coflows: []coflowmodel.Coflow{
+			{ID: 1, Weight: 1, Flows: []coflowmodel.Flow{{Src: 0, Dst: 0, Size: 10}}},
+		},
+	}
+	tr := &Transcript{Ports: 1}
+	for slot := int64(1); slot <= 10; slot++ {
+		tr.Services = append(tr.Services, UnitService{Slot: slot, Src: 0, Dst: 0, Coflow: 0})
+	}
+	out := RenderGantt(ins, tr, 10)
+	if strings.Contains(out, "truncated") {
+		t.Fatalf("marker at exact fit:\n%s", out)
+	}
+	if !strings.Contains(out, "|"+strings.Repeat("1", 10)+"|") {
+		t.Fatalf("full row missing:\n%s", out)
+	}
+}
