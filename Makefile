@@ -1,7 +1,7 @@
 # Standard developer entry points. Everything is stdlib-only Go; no
 # tools beyond the toolchain are required.
 
-.PHONY: build test check bench
+.PHONY: build test check bench bench-all
 
 build:
 	go build ./...
@@ -10,12 +10,22 @@ build:
 test:
 	go build ./... && go test ./...
 
-# Pre-merge gate: vet everything, then race-test the packages with
-# real concurrency (the daemon's single-writer loop and the shared
-# online scheduling core it drives).
+# Pre-merge gate: vet everything, then race-test the slot-pipeline
+# packages (matrix, matching, online, switchsim) and the daemon's
+# single-writer loop that drives them.
 check:
 	go vet ./...
-	go test -race ./internal/online/... ./internal/daemon/...
+	go test -race ./internal/matrix/... ./internal/matching/... ./internal/online/... ./internal/switchsim/... ./internal/daemon/...
 
+# Tracked perf benchmarks: the per-slot scheduling pipeline (Step) and
+# the BvN decomposition. Emits BENCH_PR2.json, joining the current run
+# against the committed pre-optimization baseline in
+# bench/pr1-baseline.txt (speedup > 1 means faster than the baseline).
 bench:
+	go test -bench='^(BenchmarkStep|BenchmarkDecompose)' -benchmem -benchtime=1s -run='^$$' \
+		./internal/online/ ./internal/bvn/ | tee bench/pr2-latest.txt
+	go run ./cmd/benchjson -old bench/pr1-baseline.txt < bench/pr2-latest.txt > BENCH_PR2.json
+
+# Every benchmark in the repository (experiments included; slow).
+bench-all:
 	go test -bench=. -benchmem -run=^$$ ./...

@@ -1,0 +1,175 @@
+// Command benchjson converts `go test -bench -benchmem` text output
+// into a JSON document, optionally joined against a baseline run so a
+// perf PR can commit machine-readable before/after evidence.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' ./... | benchjson [-old baseline.txt] > BENCH.json
+//
+// Each benchmark line becomes one record with ns/op, B/op and
+// allocs/op. With -old, records carry the baseline numbers under
+// old_*, plus the ns/op speedup factor, for every benchmark present in
+// both runs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result, optionally with its baseline.
+type Record struct {
+	Pkg         string  `json:"pkg,omitempty"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	OldNsPerOp     float64 `json:"old_ns_per_op,omitempty"`
+	OldBytesPerOp  int64   `json:"old_bytes_per_op,omitempty"`
+	OldAllocsPerOp int64   `json:"old_allocs_per_op,omitempty"`
+	// Speedup is old ns/op over new ns/op (>1 means faster now).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	oldPath := flag.String("old", "", "baseline bench output to join against (text format)")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines on stdin")
+	}
+	if *oldPath != "" {
+		f, err := os.Open(*oldPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		join(doc, base)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// key identifies a benchmark across runs: package plus name with any
+// -GOMAXPROCS suffix stripped.
+func key(pkg, name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return pkg + " " + name
+}
+
+func join(doc, base *Doc) {
+	old := make(map[string]Record, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		old[key(r.Pkg, r.Name)] = r
+	}
+	for i := range doc.Benchmarks {
+		r := &doc.Benchmarks[i]
+		o, ok := old[key(r.Pkg, r.Name)]
+		if !ok {
+			continue
+		}
+		r.OldNsPerOp = o.NsPerOp
+		r.OldBytesPerOp = o.BytesPerOp
+		r.OldAllocsPerOp = o.AllocsPerOp
+		if r.NsPerOp > 0 {
+			r.Speedup = o.NsPerOp / r.NsPerOp
+		}
+	}
+}
+
+// parse reads `go test -bench` text output: header lines (goos/goarch/
+// cpu/pkg) set context, Benchmark lines become records, everything
+// else (PASS, ok, custom metrics we don't track) is skipped.
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			rec, err := parseBench(pkg, line)
+			if err != nil {
+				return nil, err
+			}
+			doc.Benchmarks = append(doc.Benchmarks, rec)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBench parses one result line, e.g.
+//
+//	BenchmarkStepM100C500SEBF  220039  4951 ns/op  0 B/op  0 allocs/op
+//
+// Fields come in (value, unit) pairs after the name and iteration
+// count; unrecognized units (custom b.ReportMetric metrics) are
+// ignored.
+func parseBench(pkg, line string) (Record, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Record{}, fmt.Errorf("short benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("iterations in %q: %v", line, err)
+	}
+	rec := Record{Pkg: pkg, Name: strings.TrimPrefix(f[0], "Benchmark"), Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("value %q in %q: %v", f[i], line, err)
+		}
+		switch f[i+1] {
+		case "ns/op":
+			rec.NsPerOp = v
+		case "B/op":
+			rec.BytesPerOp = int64(v)
+		case "allocs/op":
+			rec.AllocsPerOp = int64(v)
+		}
+	}
+	return rec, nil
+}

@@ -7,7 +7,12 @@
 //
 //	coflowd [-addr :8080] [-ports 50] [-policy SEBF] [-tick 10ms]
 //	        [-deadline 0] [-max-body 1048576] [-window 1024]
-//	        [-snapshot state.json]
+//	        [-snapshot state.json] [-pprof localhost:6060]
+//
+// -pprof serves the net/http/pprof debug endpoints on a SEPARATE
+// listener (keep it loopback-only; profiles leak internals), so live
+// scheduling latency can be profiled without exposing debug handlers
+// on the control plane.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
 // requests drain, the scheduler loop stops, and (with -snapshot) the
@@ -22,6 +27,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +50,7 @@ func main() {
 	window := flag.Int("window", 1024, "rolling window size for latency and slowdown summaries")
 	snapshot := flag.String("snapshot", "", "write the final state snapshot to this file on shutdown")
 	drain := flag.Duration("drain", 5*time.Second, "maximum time to wait for in-flight requests on shutdown")
+	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof debug endpoints, e.g. localhost:6060 (disabled when empty)")
 	flag.Parse()
 
 	var policy online.Policy
@@ -72,6 +79,23 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *pprofAddr != "" {
+		// A dedicated mux (not http.DefaultServeMux) on a dedicated
+		// listener: the control plane stays free of debug handlers.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof debug endpoints on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, dbg); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: d.Handler()}

@@ -7,8 +7,11 @@
 //	coflowsim [-trace trace.json] [-order HLP|Hrho|HA] [-grouping]
 //	          [-backfill] [-recompute] [-randomized] [-seed 1]
 //	          [-weights equal|random] [-filter 0] [-lower] [-v]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Without -trace a synthetic bench-scale workload is generated.
+// -cpuprofile and -memprofile write pprof profiles of the run (see the
+// README's "Profiling the schedulers" section for a worked session).
 package main
 
 import (
@@ -17,6 +20,8 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -46,7 +51,35 @@ func main() {
 	lower := flag.Bool("lower", false, "also solve the interval LP lower bound")
 	gantt := flag.Bool("gantt", false, "render an ASCII Gantt chart of the schedule (bvn engine, small instances)")
 	verbose := flag.Bool("v", false, "print per-coflow completions")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Deferred so every engine path (bvn, fluid, online) is covered.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the post-run live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	ins, err := loadInstance(*tracePath, *traceFormat, *unitMillis)
 	if err != nil {

@@ -1,0 +1,40 @@
+package bvn
+
+import (
+	"math/rand"
+	"testing"
+
+	"coflow/internal/matrix"
+)
+
+// benchMatrix builds a dense-ish random demand matrix: the shape the
+// decomposition loop sees after Augment, where extraction cost is
+// dominated by the per-term perfect-matching search.
+func benchMatrix(m int, density float64, seed int64) *matrix.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	d := matrix.NewSquare(m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if rng.Float64() < density {
+				d.Set(i, j, int64(1+rng.Intn(50)))
+			}
+		}
+	}
+	return d
+}
+
+func benchDecompose(b *testing.B, m int, density float64) {
+	b.Helper()
+	d := benchMatrix(m, density, 17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecomposeM50Dense(b *testing.B)   { benchDecompose(b, 50, 0.5) }
+func BenchmarkDecomposeM100Sparse(b *testing.B) { benchDecompose(b, 100, 0.1) }
+func BenchmarkDecomposeM100Dense(b *testing.B)  { benchDecompose(b, 100, 0.5) }

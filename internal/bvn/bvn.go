@@ -88,11 +88,16 @@ func Decompose(d *matrix.Matrix) (*Decomposition, error) {
 	work := aug
 	m := d.Rows()
 	maxTerms := m*m + 1
+	// Subtracting q·Π only shrinks the support, and only along matched
+	// entries, so each extraction warm-starts from the previous
+	// matching minus its zeroed edges: most iterations repair with a
+	// handful of augmenting paths instead of a cold O(E·√V) solve.
+	matcher := matching.NewMatcher(m)
 	for !work.IsZero() {
 		if len(dec.Terms) >= maxTerms {
 			return nil, fmt.Errorf("bvn: more than m²=%d terms extracted; invariant violated", m*m)
 		}
-		perm, err := matching.PerfectOnSupport(work)
+		perm, err := matcher.PerfectOnSupport(work)
 		if err != nil {
 			return nil, fmt.Errorf("bvn: %w", err)
 		}

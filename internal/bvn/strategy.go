@@ -45,11 +45,16 @@ func DecomposeWith(d *matrix.Matrix, strategy Strategy) (*Decomposition, error) 
 	work := aug
 	m := d.Rows()
 	maxTerms := m*m + 1
+	// One warm-started matcher serves every threshold probe of every
+	// term: each probe repairs the previous probe's matching against
+	// the new threshold graph instead of solving cold (correct for any
+	// edge-set change, fastest when supports shrink monotonically).
+	matcher := matching.NewMatcher(m)
 	for !work.IsZero() {
 		if len(dec.Terms) >= maxTerms {
 			return nil, fmt.Errorf("bvn: more than m²=%d terms extracted; invariant violated", m*m)
 		}
-		perm, err := bottleneckMatching(work)
+		perm, err := bottleneckMatching(work, matcher)
 		if err != nil {
 			return nil, fmt.Errorf("bvn: %w", err)
 		}
@@ -73,8 +78,9 @@ func DecomposeWith(d *matrix.Matrix, strategy Strategy) (*Decomposition, error) 
 // bottleneckMatching finds a perfect matching maximizing the minimum
 // matrix entry along it: binary search the threshold θ over the
 // distinct positive entries, keeping the largest θ whose ≥θ-support
-// still admits a perfect matching.
-func bottleneckMatching(work *matrix.Matrix) (matrix.Permutation, error) {
+// still admits a perfect matching. Every probe runs on the shared
+// warm-started matcher.
+func bottleneckMatching(work *matrix.Matrix, matcher *matching.Matcher) (matrix.Permutation, error) {
 	m := work.Rows()
 	// Collect distinct positive entry values.
 	seen := map[int64]bool{}
@@ -94,30 +100,18 @@ func bottleneckMatching(work *matrix.Matrix) (matrix.Permutation, error) {
 	}
 	sort.Slice(values, func(a, b int) bool { return values[a] < values[b] })
 
-	supportAtLeast := func(theta int64) *matching.Graph {
-		g := matching.NewGraph(m)
-		for i := 0; i < m; i++ {
-			for j := 0; j < m; j++ {
-				if work.At(i, j) >= theta {
-					g.AddEdge(i, j)
-				}
-			}
-		}
-		return g
-	}
-
 	// The smallest positive value always works (full support of a
 	// balanced matrix). Binary search the largest workable value.
 	lo, hi := 0, len(values)-1 // indices into values; lo is feasible
 	var best matrix.Permutation
-	if p := matching.HopcroftKarp(supportAtLeast(values[lo])); p.IsPerfect() {
+	if p := matcher.MatchSupportAtLeast(work, values[lo]); p.IsPerfect() {
 		best = p
 	} else {
 		return matrix.Permutation{}, fmt.Errorf("support admits no perfect matching")
 	}
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		if p := matching.HopcroftKarp(supportAtLeast(values[mid])); p.IsPerfect() {
+		if p := matcher.MatchSupportAtLeast(work, values[mid]); p.IsPerfect() {
 			best = p
 			lo = mid
 		} else {

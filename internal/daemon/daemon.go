@@ -133,6 +133,12 @@ type coflowInfo struct {
 	load      int64
 	completed int64 // completion slot, -1 while live
 	cancelled bool
+	// terminal is the immutable published status once the coflow
+	// completed or was cancelled. Terminal statuses never change, so
+	// one allocation is shared by every subsequent snapshot instead of
+	// being rebuilt per tick (snapshots would otherwise cost O(all
+	// coflows ever registered) per slot on a long-running daemon).
+	terminal *CoflowStatus
 }
 
 type command struct {
@@ -330,6 +336,10 @@ func (d *Daemon) loop() {
 			Schedule: lastSchedule,
 		}
 		for id, ci := range coflows {
+			if ci.terminal != nil {
+				view.Coflows[id] = ci.terminal
+				continue
+			}
 			cs := &CoflowStatus{
 				ID: id, Weight: ci.weight, Release: ci.release,
 				TotalDemand: ci.total, Load: ci.load,
@@ -337,6 +347,7 @@ func (d *Daemon) loop() {
 			switch {
 			case ci.cancelled:
 				cs.State = "cancelled"
+				ci.terminal = cs
 			case ci.completed >= 0:
 				cs.State = "completed"
 				cs.Completed = ci.completed
@@ -345,6 +356,7 @@ func (d *Daemon) loop() {
 				} else {
 					cs.Slowdown = 1
 				}
+				ci.terminal = cs
 			default:
 				cs.State = "active"
 				cs.Remaining, _ = state.Remaining(id)
@@ -421,7 +433,9 @@ func (d *Daemon) loop() {
 			ticks++
 			lastTick = elapsed
 			latency.Observe(elapsed.Seconds())
-			lastSchedule = res.Served
+			// res.Served aliases the State's reusable buffer; copy it,
+			// since the snapshot must stay immutable across ticks.
+			lastSchedule = append([]online.Assignment(nil), res.Served...)
 			for _, id := range res.Completed {
 				complete(coflows[id], slot)
 			}

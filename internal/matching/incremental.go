@@ -1,0 +1,204 @@
+package matching
+
+import (
+	"fmt"
+
+	"coflow/internal/matrix"
+)
+
+// Matcher is a reusable, warm-started Hopcroft–Karp engine for the
+// slot pipeline's repeated-matching workloads (the BvN extraction loop
+// and the per-threshold probes of the bottleneck rule).
+//
+// Between calls it keeps (a) its scratch buffers — BFS levels, queue,
+// CSR adjacency — so steady-state calls allocate only the returned
+// permutation, and (b) the previous matching. Each call first repairs
+// the previous matching against the new edge set (dropping pairs whose
+// edge disappeared) and then augments from there. When the caller's
+// demand shrinks monotonically — a BvN subtraction zeroes only matched
+// entries, a daemon slot only drains served pairs — most repaired
+// matchings are already maximum or one augmenting path away, so the
+// amortized cost per call is O(changed entries) plus the adjacency
+// scan, instead of a full O(E·√V) cold solve.
+//
+// A Matcher is NOT safe for concurrent use. Correctness never depends
+// on the warm state: any valid partial matching extends to a maximum
+// one via augmenting paths, so even an adversarial (grown) edge set
+// yields a true maximum matching.
+type Matcher struct {
+	n              int
+	matchL, matchR []int
+	dist           []int
+	queue          []int
+	// CSR adjacency of the current call, rebuilt (not reallocated)
+	// every call.
+	adjOff []int32
+	adjDat []int32
+}
+
+// NewMatcher returns a Matcher for bipartite graphs on n+n vertices
+// with an empty warm matching.
+func NewMatcher(n int) *Matcher {
+	if n <= 0 {
+		panic(fmt.Sprintf("matching: non-positive matcher size %d", n))
+	}
+	mt := &Matcher{
+		n:      n,
+		matchL: make([]int, n),
+		matchR: make([]int, n),
+		dist:   make([]int, n),
+		queue:  make([]int, 0, n),
+		adjOff: make([]int32, n+1),
+	}
+	mt.Reset()
+	return mt
+}
+
+// Reset forgets the warm matching; the next call runs cold.
+func (mt *Matcher) Reset() {
+	for i := range mt.matchL {
+		mt.matchL[i] = matrix.Unmatched
+		mt.matchR[i] = matrix.Unmatched
+	}
+}
+
+// MatchSupport computes a maximum matching on the support graph of d
+// (edges where d.At(i,j) > 0), warm-starting from the previous call.
+func (mt *Matcher) MatchSupport(d *matrix.Matrix) matrix.Permutation {
+	return mt.MatchSupportAtLeast(d, 1)
+}
+
+// MatchSupportAtLeast computes a maximum matching on the threshold
+// graph {(i,j) : d.At(i,j) >= theta} of a square matrix d,
+// warm-starting from the previous call. theta must be positive.
+func (mt *Matcher) MatchSupportAtLeast(d *matrix.Matrix, theta int64) matrix.Permutation {
+	if d.Rows() != d.Cols() || d.Rows() != mt.n {
+		panic(fmt.Sprintf("matching: matcher size %d, matrix %d×%d", mt.n, d.Rows(), d.Cols()))
+	}
+	if theta <= 0 {
+		panic(fmt.Sprintf("matching: non-positive threshold %d", theta))
+	}
+	n := mt.n
+	// Build CSR adjacency into the reusable buffers.
+	mt.adjDat = mt.adjDat[:0]
+	for i := 0; i < n; i++ {
+		mt.adjOff[i] = int32(len(mt.adjDat))
+		for j := 0; j < n; j++ {
+			if d.At(i, j) >= theta {
+				mt.adjDat = append(mt.adjDat, int32(j))
+			}
+		}
+	}
+	mt.adjOff[n] = int32(len(mt.adjDat))
+	// Repair the warm matching: drop pairs whose edge disappeared.
+	for u := 0; u < n; u++ {
+		if v := mt.matchL[u]; v != matrix.Unmatched && d.At(u, v) < theta {
+			mt.matchL[u] = matrix.Unmatched
+			mt.matchR[v] = matrix.Unmatched
+		}
+	}
+	mt.augmentToMax()
+	return matrix.Permutation{To: append([]int(nil), mt.matchL...)}
+}
+
+// MatchGraph computes a maximum matching of g, warm-starting from the
+// previous call. g must have the matcher's size.
+func (mt *Matcher) MatchGraph(g *Graph) matrix.Permutation {
+	if g.N != mt.n {
+		panic(fmt.Sprintf("matching: matcher size %d, graph size %d", mt.n, g.N))
+	}
+	n := mt.n
+	mt.adjDat = mt.adjDat[:0]
+	for u := 0; u < n; u++ {
+		mt.adjOff[u] = int32(len(mt.adjDat))
+		for _, v := range g.Adj[u] {
+			mt.adjDat = append(mt.adjDat, int32(v))
+		}
+	}
+	mt.adjOff[n] = int32(len(mt.adjDat))
+	for u := 0; u < n; u++ {
+		v := mt.matchL[u]
+		if v == matrix.Unmatched {
+			continue
+		}
+		present := false
+		for _, w := range g.Adj[u] {
+			if w == v {
+				present = true
+				break
+			}
+		}
+		if !present {
+			mt.matchL[u] = matrix.Unmatched
+			mt.matchR[v] = matrix.Unmatched
+		}
+	}
+	mt.augmentToMax()
+	return matrix.Permutation{To: append([]int(nil), mt.matchL...)}
+}
+
+// PerfectOnSupport is MatchSupport with the Hall precondition check of
+// the package-level PerfectOnSupport.
+func (mt *Matcher) PerfectOnSupport(d *matrix.Matrix) (matrix.Permutation, error) {
+	p := mt.MatchSupport(d)
+	if !p.IsPerfect() {
+		return matrix.Permutation{}, fmt.Errorf("matching: support of %d×%d matrix admits no perfect matching (matched %d of %d rows)",
+			d.Rows(), d.Cols(), p.Size(), d.Rows())
+	}
+	return p, nil
+}
+
+// augmentToMax runs Hopcroft–Karp phases over the CSR adjacency from
+// the current (partial) matching until no augmenting path remains.
+func (mt *Matcher) augmentToMax() {
+	for mt.bfs() {
+		for u := 0; u < mt.n; u++ {
+			if mt.matchL[u] == matrix.Unmatched {
+				mt.dfs(u)
+			}
+		}
+	}
+}
+
+// bfs builds the layered graph from free left vertices; it reports
+// whether any augmenting path exists.
+func (mt *Matcher) bfs() bool {
+	mt.queue = mt.queue[:0]
+	for u := 0; u < mt.n; u++ {
+		if mt.matchL[u] == matrix.Unmatched {
+			mt.dist[u] = 0
+			mt.queue = append(mt.queue, u)
+		} else {
+			mt.dist[u] = infDist
+		}
+	}
+	found := false
+	for qi := 0; qi < len(mt.queue); qi++ {
+		u := mt.queue[qi]
+		for _, v32 := range mt.adjDat[mt.adjOff[u]:mt.adjOff[u+1]] {
+			w := mt.matchR[v32]
+			if w == matrix.Unmatched {
+				found = true
+			} else if mt.dist[w] == infDist {
+				mt.dist[w] = mt.dist[u] + 1
+				mt.queue = append(mt.queue, w)
+			}
+		}
+	}
+	return found
+}
+
+// dfs walks the layered graph looking for an augmenting path from u.
+func (mt *Matcher) dfs(u int) bool {
+	for _, v32 := range mt.adjDat[mt.adjOff[u]:mt.adjOff[u+1]] {
+		v := int(v32)
+		w := mt.matchR[v]
+		if w == matrix.Unmatched || (mt.dist[w] == mt.dist[u]+1 && mt.dfs(w)) {
+			mt.matchL[u] = v
+			mt.matchR[v] = u
+			return true
+		}
+	}
+	mt.dist[u] = infDist
+	return false
+}

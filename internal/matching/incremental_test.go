@@ -1,0 +1,179 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+
+	"coflow/internal/matrix"
+)
+
+// checkMatching verifies p is a valid matching on the theta-threshold
+// graph of d and returns its cardinality.
+func checkMatching(t testing.TB, d *matrix.Matrix, theta int64, p matrix.Permutation) int {
+	t.Helper()
+	n := d.Rows()
+	usedR := make([]bool, n)
+	size := 0
+	for u, v := range p.To {
+		if v == matrix.Unmatched {
+			continue
+		}
+		if v < 0 || v >= n {
+			t.Fatalf("match %d→%d out of range", u, v)
+		}
+		if usedR[v] {
+			t.Fatalf("right vertex %d matched twice", v)
+		}
+		usedR[v] = true
+		if d.At(u, v) < theta {
+			t.Fatalf("match %d→%d is not an edge (d=%d < θ=%d)", u, v, d.At(u, v), theta)
+		}
+		size++
+	}
+	return size
+}
+
+// mutate applies one random shrink or grow step to d: shrinking zeroes
+// or decrements a positive entry (the BvN/slot-drain direction the warm
+// start is tuned for), growing raises a random entry. Roughly 2/3 of
+// the steps shrink so sequences drift toward sparse supports.
+func mutate(rng *rand.Rand, d *matrix.Matrix) {
+	n := d.Rows()
+	i, j := rng.Intn(n), rng.Intn(n)
+	switch v := d.At(i, j); {
+	case rng.Intn(3) != 0 && v > 0:
+		if rng.Intn(2) == 0 {
+			d.Set(i, j, 0) // drop the edge entirely
+		} else {
+			d.Set(i, j, v-1)
+		}
+	default:
+		d.Set(i, j, v+int64(1+rng.Intn(4)))
+	}
+}
+
+// TestMatcherMatchesBruteForce is the satellite property test: across
+// 1000 random shrink/grow demand sequences, a single warm-started
+// Matcher must report the same maximum-matching cardinality as the
+// exponential brute-force reference on every intermediate graph, and
+// every matching it returns must be valid.
+func TestMatcherMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const sequences = 1000
+	for seq := 0; seq < sequences; seq++ {
+		n := 2 + rng.Intn(5) // brute force is exponential: keep n ≤ 6
+		d := matrix.NewSquare(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					d.Set(i, j, int64(1+rng.Intn(5)))
+				}
+			}
+		}
+		mt := NewMatcher(n)
+		steps := 1 + rng.Intn(12)
+		for s := 0; s < steps; s++ {
+			mutate(rng, d)
+			p := mt.MatchSupport(d)
+			got := checkMatching(t, d, 1, p)
+			want := BruteForceMaxMatching(SupportGraph(d))
+			if got != want {
+				t.Fatalf("seq %d step %d: warm matcher found %d, brute force %d on\n%v",
+					seq, s, got, want, d)
+			}
+		}
+	}
+}
+
+// TestMatcherThresholdMatchesBruteForce covers MatchSupportAtLeast, the
+// entry point the bottleneck-extraction binary search probes with a
+// moving θ on a fixed matrix — the other warm-start pattern in the
+// pipeline (edges only ever disappear as θ rises, then the whole edge
+// set changes for the next term).
+func TestMatcherThresholdMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for seq := 0; seq < 200; seq++ {
+		n := 2 + rng.Intn(5)
+		d := matrix.NewSquare(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					d.Set(i, j, int64(1+rng.Intn(6)))
+				}
+			}
+		}
+		mt := NewMatcher(n)
+		for theta := int64(1); theta <= 6; theta++ {
+			p := mt.MatchSupportAtLeast(d, theta)
+			got := checkMatching(t, d, theta, p)
+			ref := NewGraph(n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if d.At(i, j) >= theta {
+						ref.AddEdge(i, j)
+					}
+				}
+			}
+			if want := BruteForceMaxMatching(ref); got != want {
+				t.Fatalf("seq %d θ=%d: warm matcher found %d, brute force %d on\n%v",
+					seq, theta, got, want, d)
+			}
+		}
+	}
+}
+
+// TestMatcherAgreesWithColdHopcroftKarp cross-checks the warm engine
+// against the package's cold solver on larger graphs where brute force
+// is out of reach (cardinality only — matchings themselves may differ).
+func TestMatcherAgreesWithColdHopcroftKarp(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for seq := 0; seq < 50; seq++ {
+		n := 10 + rng.Intn(30)
+		d := matrix.NewSquare(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Intn(4) == 0 {
+					d.Set(i, j, int64(1+rng.Intn(3)))
+				}
+			}
+		}
+		mt := NewMatcher(n)
+		for s := 0; s < 20; s++ {
+			mutate(rng, d)
+			got := checkMatching(t, d, 1, mt.MatchSupport(d))
+			if want := HopcroftKarp(SupportGraph(d)).Size(); got != want {
+				t.Fatalf("seq %d step %d: warm %d, cold %d", seq, s, got, want)
+			}
+		}
+	}
+}
+
+// FuzzMatcherWarmStart drives one warm-started Matcher through an
+// arbitrary byte-encoded mutation sequence and checks every
+// intermediate result against brute force. Each triple of bytes is one
+// step: (row, col, new value mod 4) on a 4×4 matrix — zero values
+// delete edges, so the fuzzer explores adversarial shrink/grow
+// interleavings far from the monotone pattern the warm start is tuned
+// for.
+func FuzzMatcherWarmStart(f *testing.F) {
+	f.Add([]byte{0, 0, 1})
+	f.Add([]byte{0, 0, 1, 0, 0, 0})                  // add then delete
+	f.Add([]byte{0, 1, 2, 1, 0, 2, 0, 0, 1, 1, 1, 1}) // crossing pairs
+	f.Add([]byte{3, 3, 3, 2, 2, 1, 1, 1, 2, 0, 0, 3, 3, 3, 0})
+	f.Fuzz(func(t *testing.T, steps []byte) {
+		const n = 4
+		d := matrix.NewSquare(n)
+		mt := NewMatcher(n)
+		for s := 0; s+2 < len(steps); s += 3 {
+			i := int(steps[s]) % n
+			j := int(steps[s+1]) % n
+			d.Set(i, j, int64(steps[s+2]%4))
+			p := mt.MatchSupport(d)
+			got := checkMatching(t, d, 1, p)
+			if want := BruteForceMaxMatching(SupportGraph(d)); got != want {
+				t.Fatalf("step %d: warm matcher found %d, brute force %d on\n%v",
+					s/3, got, want, d)
+			}
+		}
+	})
+}

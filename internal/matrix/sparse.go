@@ -1,0 +1,214 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SparseEntry is one positive demand cell of a sparse matrix: Val data
+// units from ingress Row to egress Col.
+type SparseEntry struct {
+	Row, Col int
+	Val      int64
+}
+
+// Sparse is a CSR-style sparse demand matrix specialized for the slot
+// pipeline: the set of non-zero cells is fixed at construction (values
+// may only decrease, as service drains demand), and the row sums,
+// column sums and load ρ are maintained incrementally in O(changed
+// entries) per mutation instead of O(m²) rescans.
+//
+// Ports are remapped to compact indices: only the rows and columns the
+// demand actually touches get a sum slot, so a coflow touching 8 port
+// pairs on a 500-port switch carries O(8) state, and recomputing its
+// load after a decrement costs O(distinct ports), not O(m).
+//
+// The zero value is not usable; construct with NewSparse. Sparse is
+// not safe for concurrent use.
+type Sparse struct {
+	// entries, sorted by (Row, Col); the cell set never changes.
+	ent []SparseEntry
+	// CSR row pointers over the compact rows: entries of compact row r
+	// are ent[rowOff[r]:rowOff[r+1]].
+	rowOff []int32
+	// compact row/col index of each entry (parallel to ent).
+	rowIdx, colIdx []int32
+	// distinct ports in ascending order (compact index -> port).
+	rowID, colID []int
+	// incrementally maintained sums over compact indices.
+	rowSum, colSum []int64
+	total          int64
+	// load is ρ = max(rowSum, colSum), recomputed lazily: a decrement
+	// that lowers a sum equal to the current load marks it dirty.
+	load      int64
+	loadDirty bool
+}
+
+// NewSparse builds a Sparse from entries. Entries sharing a (row, col)
+// cell accumulate; zero-valued entries are dropped. It fails on a
+// negative port, a negative value, or no positive entries at all
+// (callers represent empty demand as absence, not as an empty Sparse).
+func NewSparse(entries []SparseEntry) (*Sparse, error) {
+	agg := make(map[[2]int]int64, len(entries))
+	for _, e := range entries {
+		if e.Row < 0 || e.Col < 0 {
+			return nil, fmt.Errorf("matrix: sparse entry (%d,%d) has a negative port", e.Row, e.Col)
+		}
+		if e.Val < 0 {
+			return nil, fmt.Errorf("matrix: sparse entry (%d,%d) has negative value %d", e.Row, e.Col, e.Val)
+		}
+		if e.Val > 0 {
+			agg[[2]int{e.Row, e.Col}] += e.Val
+		}
+	}
+	if len(agg) == 0 {
+		return nil, fmt.Errorf("matrix: sparse matrix needs at least one positive entry")
+	}
+	s := &Sparse{ent: make([]SparseEntry, 0, len(agg))}
+	for k, v := range agg {
+		s.ent = append(s.ent, SparseEntry{Row: k[0], Col: k[1], Val: v})
+	}
+	sort.Slice(s.ent, func(a, b int) bool {
+		if s.ent[a].Row != s.ent[b].Row {
+			return s.ent[a].Row < s.ent[b].Row
+		}
+		return s.ent[a].Col < s.ent[b].Col
+	})
+	s.index()
+	return s, nil
+}
+
+// index builds the compact port maps, CSR offsets and initial sums
+// from the sorted entry list.
+func (s *Sparse) index() {
+	rowOf := map[int]int32{}
+	colOf := map[int]int32{}
+	for _, e := range s.ent {
+		if _, ok := rowOf[e.Row]; !ok {
+			rowOf[e.Row] = 0
+			s.rowID = append(s.rowID, e.Row)
+		}
+		if _, ok := colOf[e.Col]; !ok {
+			colOf[e.Col] = 0
+			s.colID = append(s.colID, e.Col)
+		}
+	}
+	sort.Ints(s.rowID)
+	sort.Ints(s.colID)
+	for i, p := range s.rowID {
+		rowOf[p] = int32(i)
+	}
+	for i, p := range s.colID {
+		colOf[p] = int32(i)
+	}
+	s.rowSum = make([]int64, len(s.rowID))
+	s.colSum = make([]int64, len(s.colID))
+	s.rowIdx = make([]int32, len(s.ent))
+	s.colIdx = make([]int32, len(s.ent))
+	s.rowOff = make([]int32, len(s.rowID)+1)
+	prev := int32(-1)
+	for i, e := range s.ent {
+		ri, ci := rowOf[e.Row], colOf[e.Col]
+		s.rowIdx[i], s.colIdx[i] = ri, ci
+		s.rowSum[ri] += e.Val
+		s.colSum[ci] += e.Val
+		s.total += e.Val
+		for prev < ri {
+			prev++
+			s.rowOff[prev] = int32(i)
+		}
+	}
+	s.rowOff[len(s.rowID)] = int32(len(s.ent))
+	s.load = s.maxSum()
+}
+
+func (s *Sparse) maxSum() int64 {
+	var b int64
+	for _, v := range s.rowSum {
+		if v > b {
+			b = v
+		}
+	}
+	for _, v := range s.colSum {
+		if v > b {
+			b = v
+		}
+	}
+	return b
+}
+
+// Len returns the number of cells (fixed at construction; cells drained
+// to zero still count).
+func (s *Sparse) Len() int { return len(s.ent) }
+
+// Entry returns cell e: its ports and current value.
+func (s *Sparse) Entry(e int) (row, col int, val int64) {
+	it := &s.ent[e]
+	return it.Row, it.Col, it.Val
+}
+
+// Val returns the current value of cell e.
+func (s *Sparse) Val(e int) int64 { return s.ent[e].Val }
+
+// Dec drains d units from cell e, updating the row sum, column sum and
+// total in O(1) and deferring the ρ update until the next Load call
+// (and only when the decrement could have lowered it). It panics if
+// the cell would go negative.
+func (s *Sparse) Dec(e int, d int64) {
+	it := &s.ent[e]
+	if d < 0 || it.Val < d {
+		panic(fmt.Sprintf("matrix: Dec(%d, %d) on cell (%d,%d) holding %d", e, d, it.Row, it.Col, it.Val))
+	}
+	if d == 0 {
+		return
+	}
+	it.Val -= d
+	ri, ci := s.rowIdx[e], s.colIdx[e]
+	if s.rowSum[ri] == s.load || s.colSum[ci] == s.load {
+		s.loadDirty = true
+	}
+	s.rowSum[ri] -= d
+	s.colSum[ci] -= d
+	s.total -= d
+}
+
+// Load returns ρ: the maximum row or column sum. Cached between
+// mutations; recomputed over the compact sums only when a decrement
+// touched a maximal row or column.
+func (s *Sparse) Load() int64 {
+	if s.loadDirty {
+		s.load = s.maxSum()
+		s.loadDirty = false
+	}
+	return s.load
+}
+
+// Total returns the sum of all cells.
+func (s *Sparse) Total() int64 { return s.total }
+
+// RowPorts returns the distinct ingress ports, ascending. Shared;
+// callers must not mutate.
+func (s *Sparse) RowPorts() []int { return s.rowID }
+
+// ColPorts returns the distinct egress ports, ascending. Shared;
+// callers must not mutate.
+func (s *Sparse) ColPorts() []int { return s.colID }
+
+// RowRange returns the half-open entry range [lo, hi) of compact row r
+// (entries are grouped by row, ascending column within the row).
+func (s *Sparse) RowRange(r int) (lo, hi int) {
+	return int(s.rowOff[r]), int(s.rowOff[r+1])
+}
+
+// Dense materializes the current values as a dense m×m matrix. It
+// panics if any port is out of range. For tests and interop, not the
+// hot path.
+func (s *Sparse) Dense(m int) *Matrix {
+	d := NewSquare(m)
+	for _, e := range s.ent {
+		if e.Val > 0 {
+			d.Add(e.Row, e.Col, e.Val)
+		}
+	}
+	return d
+}

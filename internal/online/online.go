@@ -15,9 +15,11 @@ package online
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"coflow/internal/coflowmodel"
+	"coflow/internal/matrix"
 )
 
 // Policy selects the per-slot coflow priority.
@@ -57,18 +59,16 @@ type Result struct {
 	Slots int64
 }
 
-type pairDemand struct {
-	src, dst  int
-	remaining int64
-}
-
+// cfState is one live coflow: its sparse remaining demand (which
+// maintains row/col sums, the total, and the SEBF bottleneck ρ
+// incrementally as units drain) plus the priority key of the current
+// slot's sort.
 type cfState struct {
-	key       int // caller's identifier (batch runs use the instance index)
-	release   int64
-	weight    float64
-	pairs     []pairDemand
-	remaining int64 // total units left
-	maxPort   int64 // remaining bottleneck (recomputed lazily)
+	key     int // caller's identifier (batch runs use the instance index)
+	release int64
+	weight  float64
+	demand  *matrix.Sparse
+	prio    float64 // per-slot sort key (SEBF/WSPT), set by prioritizeList
 }
 
 // SimulateOrder runs the per-slot greedy scheduler with a FIXED coflow
@@ -93,30 +93,26 @@ func SimulateOrder(ins *coflowmodel.Instance, order []int) (*Result, error) {
 	for pos, k := range order {
 		rank[k] = pos
 	}
-	return simulate(ins, func(active []*cfState) {
-		sort.SliceStable(active, func(a, b int) bool {
-			return rank[active[a].key] < rank[active[b].key]
+	return simulate(ins, func(s *State, slot int64) StepResult {
+		return s.step(slot, func(active []*cfState) {
+			sort.SliceStable(active, func(a, b int) bool {
+				return rank[active[a].key] < rank[active[b].key]
+			})
 		})
 	})
 }
 
 // Simulate runs the online greedy scheduler under the given policy.
 func Simulate(ins *coflowmodel.Instance, policy Policy) (*Result, error) {
-	m := ins.Ports
-	return simulate(ins, func(active []*cfState) {
-		if policy == SEBF {
-			for _, st := range active {
-				refreshBottleneck(st, m)
-			}
-		}
-		prioritize(active, policy)
+	return simulate(ins, func(s *State, slot int64) StepResult {
+		return s.Step(slot, policy)
 	})
 }
 
-// simulate is the batch driver over the incremental State/step core
+// simulate is the batch driver over the incremental State/Step core
 // (the same code path a resident scheduler uses): load every coflow,
 // then step slot by slot, skipping idle gaps between arrivals.
-func simulate(ins *coflowmodel.Instance, reorder func([]*cfState)) (*Result, error) {
+func simulate(ins *coflowmodel.Instance, stepFn func(*State, int64) StepResult) (*Result, error) {
 	if err := ins.Validate(); err != nil {
 		return nil, err
 	}
@@ -140,7 +136,7 @@ func simulate(ins *coflowmodel.Instance, reorder func([]*cfState)) (*Result, err
 		if t > horizon {
 			return nil, fmt.Errorf("online: exceeded horizon %d with work remaining (scheduler stalled)", horizon)
 		}
-		step := state.step(t+1, reorder)
+		step := stepFn(state, t+1)
 		if step.Active == 0 {
 			t = state.NextRelease(t) // idle until the next arrival
 			continue
@@ -160,51 +156,68 @@ func simulate(ins *coflowmodel.Instance, reorder func([]*cfState)) (*Result, err
 	return res, nil
 }
 
-func prioritize(active []*cfState, policy Policy) {
-	switch policy {
-	case FIFO:
-		sort.SliceStable(active, func(a, b int) bool {
-			if active[a].release != active[b].release {
-				return active[a].release < active[b].release
-			}
-			return active[a].key < active[b].key
-		})
-	case SEBF:
-		sort.SliceStable(active, func(a, b int) bool {
-			ka := float64(active[a].maxPort) / active[a].weight
-			kb := float64(active[b].maxPort) / active[b].weight
-			if ka != kb {
-				return ka < kb
-			}
-			return active[a].key < active[b].key
-		})
-	case WSPT:
-		sort.SliceStable(active, func(a, b int) bool {
-			ka := float64(active[a].remaining) / active[a].weight
-			kb := float64(active[b].remaining) / active[b].weight
-			if ka != kb {
-				return ka < kb
-			}
-			return active[a].key < active[b].key
-		})
+// fifoCmp orders by (release, key): arrival order with a deterministic
+// tie-break.
+func fifoCmp(a, b *cfState) int {
+	if a.release != b.release {
+		if a.release < b.release {
+			return -1
+		}
+		return 1
 	}
+	return a.key - b.key
 }
 
-// refreshBottleneck recomputes the remaining per-port bottleneck of a
-// coflow from its live pair demands.
-func refreshBottleneck(st *cfState, m int) {
-	rows := make([]int64, m)
-	cols := make([]int64, m)
-	var b int64
-	for _, p := range st.pairs {
-		rows[p.src] += p.remaining
-		cols[p.dst] += p.remaining
-		if rows[p.src] > b {
-			b = rows[p.src]
+// prioCmp orders by the precomputed priority key, breaking ties on the
+// unique coflow key so every policy order is a strict total order.
+func prioCmp(a, b *cfState) int {
+	if a.prio != b.prio {
+		if a.prio < b.prio {
+			return -1
 		}
-		if cols[p.dst] > b {
-			b = cols[p.dst]
+		return 1
+	}
+	return a.key - b.key
+}
+
+// prioritizeList sorts the live list into the policy's priority order.
+// Priorities are precomputed into cfState.prio (one O(1) read per
+// coflow — the sparse demand maintains its bottleneck and total
+// incrementally), then an O(n) sorted-check skips the sort entirely on
+// the common steady-state slot where no coflow overtook another. FIFO
+// keys never change, so a sorted list stays sorted until the next Add
+// (or a sort under another policy) and skips even the check.
+//
+// The return reports whether the list was ALREADY in order — i.e. no
+// element moved — which is what the warm-start replay in Step needs to
+// know (an unchanged visit order).
+func (s *State) prioritizeList(policy Policy) bool {
+	list := s.list
+	switch policy {
+	case FIFO:
+		if s.fifoSorted {
+			return true
+		}
+		if sorted := slices.IsSortedFunc(list, fifoCmp); !sorted {
+			slices.SortStableFunc(list, fifoCmp)
+			s.fifoSorted = true
+			return false
+		}
+		s.fifoSorted = true
+		return true
+	case SEBF:
+		for _, st := range list {
+			st.prio = float64(st.demand.Load()) / st.weight
+		}
+	case WSPT:
+		for _, st := range list {
+			st.prio = float64(st.demand.Total()) / st.weight
 		}
 	}
-	st.maxPort = b
+	if !slices.IsSortedFunc(list, prioCmp) {
+		slices.SortStableFunc(list, prioCmp)
+		s.fifoSorted = false
+		return false
+	}
+	return true
 }

@@ -257,6 +257,55 @@ func TestBlockMatchesSlotAccurate(t *testing.T) {
 	}
 }
 
+// TestBlockMatchesSlotAccurateWithReleases pins the executors'
+// completion-time equivalence on release-date instances specifically:
+// every coflow has a strictly positive release and the staggering is
+// wide relative to the demand, so stages routinely start idle, wait
+// mid-plan for a member's release, or straddle a release boundary —
+// exactly the block-arithmetic corners (wait-then-serve, partial
+// blocks) where a per-term executor could drift from the slot-by-slot
+// ground truth.
+func TestBlockMatchesSlotAccurateWithReleases(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	for trial := 0; trial < 100; trial++ {
+		m := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(5)
+		ins := randomInstance(rng, m, n, 4, 0)
+		for k := range ins.Coflows {
+			// Strictly positive, widely staggered releases.
+			ins.Coflows[k].Release = 1 + rng.Int63n(40)
+		}
+		for _, strategy := range []bvn.Strategy{bvn.StrategyFirst, bvn.StrategyThick} {
+			plan := &Plan{
+				Ins:       ins,
+				Order:     rng.Perm(n),
+				Stages:    randomStages(rng, n),
+				Backfill:  rng.Intn(2) == 0,
+				Recompute: rng.Intn(2) == 0,
+				Strategy:  strategy,
+			}
+			block, err := Execute(plan)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			slot, err := ExecuteSlotAccurate(plan)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			for k := range block.Completion {
+				if block.Completion[k] != slot.Completion[k] {
+					t.Fatalf("trial %d %v coflow %d (release %d): block %d, slot-accurate %d",
+						trial, strategy, k, ins.Coflows[k].Release,
+						block.Completion[k], slot.Completion[k])
+				}
+			}
+			if block.Slots != slot.Slots {
+				t.Fatalf("trial %d %v: slots differ: %d vs %d", trial, strategy, block.Slots, slot.Slots)
+			}
+		}
+	}
+}
+
 // Lemma 2: under ANY schedule, the time all of the first k coflows (in
 // schedule order) complete is at least V_k.
 func TestLemma2LoadLowerBound(t *testing.T) {
