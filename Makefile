@@ -1,7 +1,7 @@
 # Standard developer entry points. Everything is stdlib-only Go; no
 # tools beyond the toolchain are required.
 
-.PHONY: build test check bench bench-all
+.PHONY: build test check slowcheck bench bench-all
 
 build:
 	go build ./...
@@ -10,12 +10,21 @@ build:
 test:
 	go build ./... && go test ./...
 
-# Pre-merge gate: vet everything, then race-test the slot-pipeline
+# Pre-merge gate: vet everything, race-test the slot-pipeline
 # packages (matrix, matching, online, switchsim) and the daemon's
-# single-writer loop that drives them.
-check:
+# single-writer loop that drives them, then the differential-oracle
+# sweep (slowcheck).
+check: slowcheck
 	go vet ./...
 	go test -race ./internal/matrix/... ./internal/matching/... ./internal/online/... ./internal/switchsim/... ./internal/daemon/...
+
+# Differential oracle at full depth: the slowcheck-tagged sweeps
+# (larger fabrics, every policy, state diffs every slot) plus a
+# bounded run of the step-vs-reference fuzz target. Any failure dumps
+# a minimized reproducer; see DESIGN.md "Invariant checking".
+slowcheck:
+	go test -tags=slowcheck ./internal/check/
+	go test -run='^$$' -fuzz=FuzzStepVsReference -fuzztime=30s ./internal/check/
 
 # Tracked perf benchmarks: the per-slot scheduling pipeline (Step) and
 # the BvN decomposition. Emits BENCH_PR2.json, joining the current run

@@ -8,6 +8,13 @@
 //	coflowd [-addr :8080] [-ports 50] [-policy SEBF] [-tick 10ms]
 //	        [-deadline 0] [-max-body 1048576] [-window 1024]
 //	        [-snapshot state.json] [-pprof localhost:6060]
+//	        [-selfcheck] [-selfcheck-every 8]
+//
+// -selfcheck runs an independent invariant monitor inside the tick
+// loop (internal/check): every slot's demand bookkeeping is shadowed,
+// and sampled slots are validated against the feasibility invariants
+// (matching, release dates, demand conservation). Violations are
+// counted in GET /v1/metrics.
 //
 // -pprof serves the net/http/pprof debug endpoints on a SEPARATE
 // listener (keep it loopback-only; profiles leak internals), so live
@@ -49,6 +56,8 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "maximum request body size in bytes")
 	window := flag.Int("window", 1024, "rolling window size for latency and slowdown summaries")
 	snapshot := flag.String("snapshot", "", "write the final state snapshot to this file on shutdown")
+	selfCheck := flag.Bool("selfcheck", false, "run the invariant monitor in the tick loop (violations surface in /v1/metrics)")
+	selfCheckEvery := flag.Int("selfcheck-every", 8, "with -selfcheck, validate every k-th tick (1 = every tick)")
 	drain := flag.Duration("drain", 5*time.Second, "maximum time to wait for in-flight requests on shutdown")
 	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof debug endpoints, e.g. localhost:6060 (disabled when empty)")
 	flag.Parse()
@@ -74,8 +83,10 @@ func main() {
 		Tick:         *tick,
 		Deadline:     *deadline,
 		MaxBody:      *maxBody,
-		Window:       *window,
-		SnapshotPath: *snapshot,
+		Window:         *window,
+		SnapshotPath:   *snapshot,
+		SelfCheck:      *selfCheck,
+		SelfCheckEvery: *selfCheckEvery,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -2,9 +2,15 @@ package coflowmodel
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ErrMalformed marks registration payloads that failed to DECODE (as
+// opposed to well-formed JSON that failed validation). HTTP layers
+// branch on it with errors.Is to classify 400s for clients.
+var ErrMalformed = errors.New("coflowmodel: malformed registration")
 
 // Registration is the wire format for registering a coflow with a
 // running scheduler (coflowd's POST /v1/coflows): the caller supplies
@@ -64,7 +70,10 @@ func ParseRegistration(r io.Reader, ports int) (*Registration, error) {
 	dec.DisallowUnknownFields()
 	var reg Registration
 	if err := dec.Decode(&reg); err != nil {
-		return nil, fmt.Errorf("coflowmodel: decode registration: %w", err)
+		// Both sentinels stay unwrappable: ErrMalformed for
+		// classification, the decoder's error (which may be an
+		// *http.MaxBytesError) for cause-specific handling.
+		return nil, fmt.Errorf("%w: %w", ErrMalformed, err)
 	}
 	if err := reg.Validate(ports); err != nil {
 		return nil, err

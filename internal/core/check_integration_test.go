@@ -1,0 +1,41 @@
+// Package core_test wires the internal/check validator into the
+// top-level scheduler's suite: the schedule behind every §4 option
+// combination must certify against the feasibility invariants, not
+// just produce plausible objective values. External package because
+// check imports core's dependencies.
+package core_test
+
+import (
+	"testing"
+
+	"coflow/internal/check"
+	"coflow/internal/core"
+	"coflow/internal/trace"
+)
+
+func TestAllOptionSchedulesValidate(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		ins := trace.MustGenerate(trace.Config{
+			Ports: 4, NumCoflows: 7, Seed: seed,
+			NarrowFraction: 0.5, WideFraction: 0.2,
+			MaxFlowSize: 6, ParetoAlpha: 1.3, MeanInterarrival: 2,
+		})
+		for _, opts := range core.AllOptions() {
+			first, err := core.Schedule(ins, opts)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, opts.Label(), err)
+			}
+			res, tr, err := core.ExecuteOrderedRecorded(ins, first.Order, opts)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, opts.Label(), err)
+			}
+			if res.TotalWeighted != first.TotalWeighted {
+				t.Errorf("seed %d %s: recorded re-execution changed the objective: %g vs %g",
+					seed, opts.Label(), res.TotalWeighted, first.TotalWeighted)
+			}
+			if vs := check.Schedule(ins, check.FromTranscript(tr, res.Result)); vs != nil {
+				t.Errorf("seed %d %s: %d violations, first: %v", seed, opts.Label(), len(vs), vs[0])
+			}
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"coflow/internal/check"
 	"coflow/internal/coflowmodel"
 	"coflow/internal/online"
 	"coflow/internal/stats"
@@ -70,6 +71,15 @@ type Config struct {
 	// Window is the rolling-window capacity for latency and slowdown
 	// summaries; zero means 1024.
 	Window int
+	// SelfCheck runs an independent invariant monitor (internal/check)
+	// inside the tick loop, validating sampled slots against the
+	// formulation's feasibility invariants. Violations are counted in
+	// /v1/metrics. Off by default.
+	SelfCheck bool
+	// SelfCheckEvery validates every k-th tick when SelfCheck is on
+	// (bookkeeping still runs every tick, so sampling stays sound);
+	// zero means 8, 1 validates every tick.
+	SelfCheckEvery int
 }
 
 // CoflowStatus is the externally visible state of one coflow.
@@ -112,6 +122,13 @@ type Metrics struct {
 	// Slowdown summarizes the rolling window of completed-coflow
 	// slowdowns.
 	Slowdown stats.Summary `json:"slowdown"`
+	// SelfCheck reports whether the invariant monitor is enabled.
+	SelfCheck bool `json:"self_check"`
+	// SelfCheckViolations counts invariant violations the monitor has
+	// flagged since startup. Nonzero means a scheduler bug.
+	SelfCheckViolations int64 `json:"self_check_violations"`
+	// LastViolation describes the most recent violation, if any.
+	LastViolation string `json:"last_violation,omitempty"`
 }
 
 // Snapshot is the immutable read-side view published after every
@@ -192,6 +209,9 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Window <= 0 {
 		cfg.Window = 1024
 	}
+	if cfg.SelfCheckEvery <= 0 {
+		cfg.SelfCheckEvery = 8
+	}
 	d := &Daemon{
 		cfg:  config{cfg},
 		cmds: make(chan command, 64),
@@ -270,19 +290,33 @@ func (d *Daemon) Close() error {
 	return d.closeErr
 }
 
-// writeSnapshot dumps the final state as indented JSON.
+// writeSnapshot dumps the final state as indented JSON, atomically: a
+// failed or interrupted write must never leave a truncated document
+// where a previous good snapshot (or nothing) was, so the encode goes
+// to a temp file in the same directory which is renamed into place
+// only after a clean close.
 func (d *Daemon) writeSnapshot(path string) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(d.Snapshot()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("daemon: encode snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // ticker converts wall time into tick commands, dropping (and
@@ -328,6 +362,18 @@ func (d *Daemon) loop() {
 	)
 	latency := stats.NewRolling(d.cfg.Window)
 	slowdown := stats.NewRolling(d.cfg.Window)
+
+	// Optional invariant monitor: independent demand bookkeeping that
+	// validates sampled slots (see Config.SelfCheck). It lives in the
+	// loop goroutine like everything else mutable.
+	var (
+		mon           *check.Monitor
+		violations    int64
+		lastViolation string
+	)
+	if d.cfg.SelfCheck {
+		mon = check.NewMonitor(d.cfg.Ports)
+	}
 
 	publish := func() {
 		view := &Snapshot{
@@ -383,6 +429,10 @@ func (d *Daemon) loop() {
 			LastTickSecs:  lastTick.Seconds(),
 			TickLatency:   latency.Summary(),
 			Slowdown:      slowdown.Summary(),
+
+			SelfCheck:           d.cfg.SelfCheck,
+			SelfCheckViolations: violations,
+			LastViolation:       lastViolation,
 		}
 		d.snap.Store(view)
 	}
@@ -418,6 +468,8 @@ func (d *Daemon) loop() {
 			if remaining == 0 {
 				// No demand: complete the moment it is released.
 				complete(ci, slot)
+			} else if mon != nil {
+				mon.Add(id, slot, cf.Flows)
 			}
 			return reply{id: id, release: slot}
 
@@ -436,6 +488,13 @@ func (d *Daemon) loop() {
 			// res.Served aliases the State's reusable buffer; copy it,
 			// since the snapshot must stay immutable across ticks.
 			lastSchedule = append([]online.Assignment(nil), res.Served...)
+			if mon != nil && res.Active > 0 {
+				validate := d.cfg.SelfCheckEvery == 1 || ticks%int64(d.cfg.SelfCheckEvery) == 0
+				if vs := mon.Observe(res, validate); len(vs) > 0 {
+					violations += int64(len(vs))
+					lastViolation = vs[len(vs)-1].String()
+				}
+			}
 			for _, id := range res.Completed {
 				complete(coflows[id], slot)
 			}
@@ -465,6 +524,9 @@ func (d *Daemon) loop() {
 				return reply{err: fmt.Errorf("daemon: coflow %d already completed", c.cancel)}
 			}
 			state.Remove(c.cancel)
+			if mon != nil {
+				mon.Remove(c.cancel)
+			}
 			ci.cancelled = true
 			cancelledN++
 			return reply{}

@@ -21,7 +21,14 @@ import (
 //	GET    /healthz         liveness
 //
 // All GETs are served from the latest atomic snapshot and never touch
-// the scheduler loop. Errors are structured JSON: {"error": "..."}.
+// the scheduler loop. Errors are structured JSON:
+// {"error": "...", "kind": "..."} where kind is a stable
+// machine-readable class (malformed_json, validation, too_large,
+// method_not_allowed, not_found, conflict, unavailable).
+//
+// Every route also registers a method-less fallback so a wrong method
+// gets a structured 405 with an Allow header instead of the mux's
+// plain-text default.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/coflows", d.handleRegister)
@@ -31,7 +38,23 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/schedule", d.handleSchedule)
 	mux.HandleFunc("GET /v1/metrics", d.handleMetrics)
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("/v1/coflows", methodNotAllowed("GET, POST"))
+	mux.HandleFunc("/v1/coflows/{id}", methodNotAllowed("DELETE, GET"))
+	mux.HandleFunc("/v1/schedule", methodNotAllowed("GET"))
+	mux.HandleFunc("/v1/metrics", methodNotAllowed("GET"))
+	mux.HandleFunc("/healthz", methodNotAllowed("GET"))
 	return mux
+}
+
+// methodNotAllowed is the fallback for a known path hit with an
+// unhandled method. The method-specific patterns are more specific,
+// so they win whenever they match; everything else lands here.
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"method "+r.Method+" not allowed (allow: "+allow+")")
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -40,29 +63,34 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+// writeError writes the structured error body. kind is the stable
+// machine-readable class; msg the human-readable detail.
+func writeError(w http.ResponseWriter, code int, kind, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg, "kind": kind})
 }
 
 func (d *Daemon) handleRegister(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, d.cfg.MaxBody)
 	reg, err := coflowmodel.ParseRegistration(body, d.cfg.Ports)
 	if err != nil {
-		code := http.StatusBadRequest
+		code, kind := http.StatusBadRequest, "validation"
 		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			code = http.StatusRequestEntityTooLarge
+		switch {
+		case errors.As(err, &tooLarge):
+			code, kind = http.StatusRequestEntityTooLarge, "too_large"
+		case errors.Is(err, coflowmodel.ErrMalformed):
+			kind = "malformed_json"
 		}
-		writeError(w, code, err.Error())
+		writeError(w, code, kind, err.Error())
 		return
 	}
 	id, release, err := d.Register(reg)
 	if err != nil {
 		if errors.Is(err, ErrClosed) {
-			writeError(w, http.StatusServiceUnavailable, err.Error())
+			writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
 			return
 		}
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, "validation", err.Error())
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "release": release})
@@ -72,7 +100,7 @@ func (d *Daemon) handleRegister(w http.ResponseWriter, r *http.Request) {
 func pathID(w http.ResponseWriter, r *http.Request) (int, bool) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil || id <= 0 {
-		writeError(w, http.StatusBadRequest, "coflow id must be a positive integer")
+		writeError(w, http.StatusBadRequest, "validation", "coflow id must be a positive integer")
 		return 0, false
 	}
 	return id, true
@@ -85,7 +113,7 @@ func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
 	}
 	cs, ok := d.Snapshot().Coflows[id]
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown coflow "+strconv.Itoa(id))
+		writeError(w, http.StatusNotFound, "not_found", "unknown coflow "+strconv.Itoa(id))
 		return
 	}
 	writeJSON(w, http.StatusOK, cs)
@@ -107,11 +135,11 @@ func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if err := d.Cancel(id); err != nil {
 		switch {
 		case errors.Is(err, ErrClosed):
-			writeError(w, http.StatusServiceUnavailable, err.Error())
+			writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
 		case d.Snapshot().Coflows[id] == nil:
-			writeError(w, http.StatusNotFound, err.Error())
+			writeError(w, http.StatusNotFound, "not_found", err.Error())
 		default: // known but already completed/cancelled
-			writeError(w, http.StatusConflict, err.Error())
+			writeError(w, http.StatusConflict, "conflict", err.Error())
 		}
 		return
 	}
@@ -138,7 +166,7 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-d.quit:
-		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "shutting down")
 	default:
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "slot": d.Snapshot().Slot})
 	}

@@ -37,18 +37,30 @@ func Intervals(T int64) []int64 {
 }
 
 // IntervalIndex returns the smallest l ≥ 1 with v ≤ τ_l, i.e. the
-// index of the interval (τ_{l−1}, τ_l] containing v ≥ 1. It panics if
-// v exceeds the horizon covered by tau.
-func IntervalIndex(tau []int64, v int64) int {
+// index of the interval (τ_{l−1}, τ_l] containing v ≥ 1. A v beyond
+// the horizon covered by tau is a caller-input error, not an internal
+// invariant, so it is returned rather than panicked.
+func IntervalIndex(tau []int64, v int64) (int, error) {
 	if v < 1 {
-		return 1
+		return 1, nil
 	}
 	idx := sort.Search(len(tau), func(l int) bool { return tau[l] >= v })
 	if idx >= len(tau) {
-		panic(fmt.Sprintf("lpmodel: value %d beyond horizon τ_L=%d", v, tau[len(tau)-1]))
+		return 0, fmt.Errorf("lpmodel: value %d beyond horizon τ_L=%d", v, tau[len(tau)-1])
 	}
 	if idx == 0 {
 		idx = 1
+	}
+	return idx, nil
+}
+
+// mustIntervalIndex is IntervalIndex for call sites that construct
+// tau from the same instance v is derived from, where an out-of-range
+// v IS an internal invariant violation.
+func mustIntervalIndex(tau []int64, v int64) int {
+	idx, err := IntervalIndex(tau, v)
+	if err != nil {
+		panic(err)
 	}
 	return idx
 }
@@ -110,7 +122,9 @@ func buildIntervalLP(ins *coflowmodel.Instance) (*intervalModel, error) {
 		if need < 1 {
 			need = 1 // an empty coflow still completes in interval 1
 		}
-		lMin[k] = IntervalIndex(tau, need)
+		// Intervals(Horizon) covers release+load of every coflow, so
+		// an error here is impossible for a validated instance.
+		lMin[k] = mustIntervalIndex(tau, need)
 	}
 
 	// Variable numbering: x_l^(k) for l = lMin[k]..L.

@@ -54,19 +54,28 @@ func TestIntervalIndex(t *testing.T) {
 	tau := []int64{0, 1, 2, 4, 8}
 	cases := map[int64]int{1: 1, 2: 2, 3: 3, 4: 3, 5: 4, 8: 4, 0: 1, -3: 1}
 	for v, want := range cases {
-		if got := IntervalIndex(tau, v); got != want {
+		got, err := IntervalIndex(tau, v)
+		if err != nil {
+			t.Errorf("IntervalIndex(%d): %v", v, err)
+		} else if got != want {
 			t.Errorf("IntervalIndex(%d) = %d, want %d", v, got, want)
 		}
 	}
 }
 
-func TestIntervalIndexPanicsBeyondHorizon(t *testing.T) {
+func TestIntervalIndexErrorsBeyondHorizon(t *testing.T) {
+	if _, err := IntervalIndex([]int64{0, 1, 2}, 3); err == nil {
+		t.Error("no error for value beyond horizon")
+	}
+}
+
+func TestMustIntervalIndexPanicsBeyondHorizon(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Error("no panic for value beyond horizon")
 		}
 	}()
-	IntervalIndex([]int64{0, 1, 2}, 3)
+	mustIntervalIndex([]int64{0, 1, 2}, 3)
 }
 
 func singleCoflowInstance() *coflowmodel.Instance {

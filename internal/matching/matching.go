@@ -160,11 +160,12 @@ func BruteForceMaxMatching(g *Graph) int {
 
 // HallViolator returns a subset of left vertices S with |N(S)| < |S|
 // if one exists (certifying that no perfect matching exists), or nil.
-// Exponential; for tests and diagnostics on small graphs.
-func HallViolator(g *Graph) []int {
+// Exponential; for tests and diagnostics on small graphs. Graph size
+// is caller input, so an oversized graph is an error, not a panic.
+func HallViolator(g *Graph) ([]int, error) {
 	n := g.N
 	if n > 20 {
-		panic("matching: HallViolator limited to n <= 20")
+		return nil, fmt.Errorf("matching: HallViolator limited to n <= 20, got %d", n)
 	}
 	for mask := 1; mask < 1<<uint(n); mask++ {
 		var s []int
@@ -178,8 +179,8 @@ func HallViolator(g *Graph) []int {
 			}
 		}
 		if len(nb) < len(s) {
-			return s
+			return s, nil
 		}
 	}
-	return nil
+	return nil, nil
 }

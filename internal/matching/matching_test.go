@@ -54,8 +54,8 @@ func TestHopcroftKarpHallViolation(t *testing.T) {
 	if !p.IsValid() {
 		t.Fatalf("invalid matching %+v", p)
 	}
-	if HallViolator(g) == nil {
-		t.Fatal("expected a Hall violator")
+	if v, err := HallViolator(g); err != nil || v == nil {
+		t.Fatalf("expected a Hall violator, got (%v, %v)", v, err)
 	}
 }
 
@@ -221,8 +221,14 @@ func TestHallViolatorNilWhenPerfect(t *testing.T) {
 	g := NewGraph(2)
 	g.AddEdge(0, 0)
 	g.AddEdge(1, 1)
-	if v := HallViolator(g); v != nil {
-		t.Fatalf("unexpected violator %v", v)
+	if v, err := HallViolator(g); err != nil || v != nil {
+		t.Fatalf("unexpected violator (%v, %v)", v, err)
+	}
+}
+
+func TestHallViolatorErrorsOnOversizedGraph(t *testing.T) {
+	if _, err := HallViolator(NewGraph(21)); err == nil {
+		t.Fatal("no error for n > 20")
 	}
 }
 

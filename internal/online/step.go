@@ -2,6 +2,7 @@ package online
 
 import (
 	"fmt"
+	"slices"
 
 	"coflow/internal/coflowmodel"
 	"coflow/internal/matrix"
@@ -171,6 +172,38 @@ func (s *State) Remaining(key int) (int64, bool) {
 		return 0, false
 	}
 	return st.demand.Total(), true
+}
+
+// Keys appends the keys of every live coflow (released or not) to dst
+// in ascending order and returns it. For validation and diagnostics
+// (internal/check diffs live state against a reference); pass a
+// reused buffer to avoid allocation.
+func (s *State) Keys(dst []int) []int {
+	for _, st := range s.list {
+		dst = append(dst, st.key)
+	}
+	slices.Sort(dst)
+	return dst
+}
+
+// Demand returns the positive remaining demand entries of the live
+// coflow under key in (row, col) order, or nil if it is not live. The
+// entries are copies; for validation and diagnostics, not the hot
+// path.
+func (s *State) Demand(key int) []matrix.SparseEntry {
+	st, ok := s.index[key]
+	if !ok {
+		return nil
+	}
+	d := st.demand
+	out := make([]matrix.SparseEntry, 0, d.Len())
+	for e, n := 0, d.Len(); e < n; e++ {
+		src, dst, val := d.Entry(e)
+		if val > 0 {
+			out = append(out, matrix.SparseEntry{Row: src, Col: dst, Val: val})
+		}
+	}
+	return out
 }
 
 // NextRelease returns the earliest release strictly after t among live

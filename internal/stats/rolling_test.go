@@ -53,6 +53,55 @@ func TestRollingEvictsOldest(t *testing.T) {
 	}
 }
 
+// TestRollingBoundaries pins the eviction/Last arithmetic at the ring
+// boundaries where off-by-ones live: capacity 1 (every observation
+// both fills and evicts), and a window wrapped exactly once (next has
+// just returned to 0, so Last must reach back to the END of the
+// buffer, not index -1). Each case lists the full expected window.
+func TestRollingBoundaries(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity int
+		observe  []float64
+		wantLast float64
+		wantMin  float64
+		wantMax  float64
+		wantN    int64
+	}{
+		{"capacity 1, single", 1, []float64{7}, 7, 7, 7, 1},
+		{"capacity 1, replaced", 1, []float64{7, 9}, 9, 9, 9, 2},
+		{"capacity 1, replaced twice", 1, []float64{7, 9, 4}, 4, 4, 4, 3},
+		{"exactly full, no wrap", 3, []float64{1, 2, 3}, 3, 1, 3, 3},
+		{"wrapped exactly once", 3, []float64{1, 2, 3, 4, 5, 6}, 6, 4, 6, 6},
+		{"one past full", 3, []float64{1, 2, 3, 4}, 4, 2, 4, 4},
+		{"one short of wrap", 3, []float64{1, 2, 3, 4, 5}, 5, 3, 5, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRolling(tc.capacity)
+			for _, v := range tc.observe {
+				r.Observe(v)
+				if r.Last() != v {
+					t.Fatalf("Last() = %g immediately after Observe(%g)", r.Last(), v)
+				}
+			}
+			s := r.Summary()
+			if r.Last() != tc.wantLast || s.Min != tc.wantMin || s.Max != tc.wantMax ||
+				int64(s.Count) != min64(int64(tc.capacity), tc.wantN) || r.Total() != tc.wantN {
+				t.Fatalf("Last=%g Total=%d summary=%+v, want last=%g min=%g max=%g n=%d",
+					r.Last(), r.Total(), s, tc.wantLast, tc.wantMin, tc.wantMax, tc.wantN)
+			}
+		})
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 func TestNewRollingPanicsOnBadCapacity(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -59,6 +59,32 @@ func TestRenderGanttTruncationColumnCount(t *testing.T) {
 	}
 }
 
+// One slot past maxSlots is the smallest truncating horizon: the
+// marker appears and exactly the overflowing slot is dropped.
+func TestRenderGanttTruncationOneSlotPast(t *testing.T) {
+	const maxSlots = 10
+	ins := &coflowmodel.Instance{
+		Ports: 1,
+		Coflows: []coflowmodel.Coflow{
+			{ID: 1, Weight: 1, Flows: []coflowmodel.Flow{{Src: 0, Dst: 0, Size: maxSlots + 1}}},
+		},
+	}
+	tr := &Transcript{Ports: 1}
+	for slot := int64(1); slot <= maxSlots+1; slot++ {
+		tr.Services = append(tr.Services, UnitService{Slot: slot, Src: 0, Dst: 0, Coflow: 0})
+	}
+	out := RenderGantt(ins, tr, maxSlots)
+	if !strings.Contains(out, "truncated") {
+		t.Fatalf("no marker one slot past the boundary:\n%s", out)
+	}
+	if !strings.Contains(out, "slots 1..10") {
+		t.Fatalf("header horizon not clamped to maxSlots:\n%s", out)
+	}
+	if !strings.Contains(out, "|"+strings.Repeat("1", maxSlots)+"|") {
+		t.Fatalf("kept slots wrong:\n%s", out)
+	}
+}
+
 // At exactly maxSlots no marker appears and nothing is dropped.
 func TestRenderGanttNoTruncationAtBoundary(t *testing.T) {
 	ins := &coflowmodel.Instance{
