@@ -4,12 +4,22 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchmem -run='^$' ./... | benchjson [-old baseline.txt] > BENCH.json
+//	go test -bench=. -benchmem -run='^$' ./... | benchjson [-old baseline.txt] \
+//	    [-gate Step] [-maxregress 5] > BENCH.json
 //
 // Each benchmark line becomes one record with ns/op, B/op and
-// allocs/op. With -old, records carry the baseline numbers under
-// old_*, plus the ns/op speedup factor, for every benchmark present in
-// both runs.
+// allocs/op; repeated runs of one benchmark (go test -count=N) are
+// collapsed to the fastest. With -old, records carry the baseline
+// numbers under old_*, plus the ns/op speedup factor, for every
+// benchmark present in both runs.
+//
+// With -gate, benchjson is also a regression gate: after writing the
+// JSON it exits 1 if any benchmark whose name contains the -gate
+// substring is more than -maxregress percent slower (ns/op) than the
+// baseline, or allocates more per op than the baseline did. This is
+// what `make bench` (and through it `make check`) runs against the
+// rolling baseline in bench/baseline.txt; rotate the baseline with
+// `make bench-baseline` after an intentional perf change.
 package main
 
 import (
@@ -52,6 +62,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	oldPath := flag.String("old", "", "baseline bench output to join against (text format)")
+	gate := flag.String("gate", "", "fail if a benchmark whose name contains this substring regressed vs -old")
+	maxRegress := flag.Float64("maxregress", 5, "allowed ns/op regression percent for -gate benchmarks")
 	flag.Parse()
 
 	doc, err := parse(os.Stdin)
@@ -61,6 +73,7 @@ func main() {
 	if len(doc.Benchmarks) == 0 {
 		log.Fatal("no benchmark lines on stdin")
 	}
+	dedupeMin(doc)
 	if *oldPath != "" {
 		f, err := os.Open(*oldPath)
 		if err != nil {
@@ -71,6 +84,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		dedupeMin(base)
 		join(doc, base)
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -78,6 +92,60 @@ func main() {
 	if err := enc.Encode(doc); err != nil {
 		log.Fatal(err)
 	}
+	if *gate != "" {
+		if *oldPath == "" {
+			log.Fatal("-gate requires -old")
+		}
+		if fails := checkGate(doc, *gate, *maxRegress); len(fails) > 0 {
+			for _, f := range fails {
+				log.Print(f)
+			}
+			log.Fatalf("%d gated benchmark(s) regressed more than %.1f%%", len(fails), *maxRegress)
+		}
+	}
+}
+
+// dedupeMin collapses repeated runs of the same benchmark (go test
+// -count=N) into one record keeping the fastest ns/op — scheduling
+// noise only ever adds time, so the minimum is the stablest estimator
+// and is what both sides of a gate comparison should use.
+func dedupeMin(doc *Doc) {
+	best := make(map[string]int, len(doc.Benchmarks))
+	out := doc.Benchmarks[:0]
+	for _, r := range doc.Benchmarks {
+		k := key(r.Pkg, r.Name)
+		if i, ok := best[k]; ok {
+			if r.NsPerOp < out[i].NsPerOp {
+				out[i] = r
+			}
+			continue
+		}
+		best[k] = len(out)
+		out = append(out, r)
+	}
+	doc.Benchmarks = out
+}
+
+// checkGate returns one message per gated benchmark that regressed:
+// ns/op beyond the allowed percentage, or any allocs/op increase
+// (the zero-alloc steady state is part of the pipeline's contract).
+// Benchmarks absent from the baseline are not gated.
+func checkGate(doc *Doc, gate string, maxRegress float64) []string {
+	var fails []string
+	for _, r := range doc.Benchmarks {
+		if !strings.Contains(r.Name, gate) || r.OldNsPerOp <= 0 {
+			continue
+		}
+		if limit := r.OldNsPerOp * (1 + maxRegress/100); r.NsPerOp > limit {
+			fails = append(fails, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (+%.1f%%, allowed %.1f%%)",
+				r.Name, r.NsPerOp, r.OldNsPerOp, 100*(r.NsPerOp/r.OldNsPerOp-1), maxRegress))
+		}
+		if r.AllocsPerOp > r.OldAllocsPerOp {
+			fails = append(fails, fmt.Sprintf("%s: %d allocs/op vs baseline %d",
+				r.Name, r.AllocsPerOp, r.OldAllocsPerOp))
+		}
+	}
+	return fails
 }
 
 // key identifies a benchmark across runs: package plus name with any

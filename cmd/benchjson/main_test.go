@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const newRun = `goos: linux
+pkg: coflow/internal/online
+BenchmarkStepM100C500SEBF 	  100	      2100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStepNoopTick 	  100	      40.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDecomposeM50Dense 	  100	      5000000 ns/op	  1024 B/op	       8 allocs/op
+`
+
+const baseRun = `pkg: coflow/internal/online
+BenchmarkStepM100C500SEBF 	  100	      2000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStepNoopTick 	  100	      39.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDecomposeM50Dense 	  100	      9000000 ns/op	  2048 B/op	      16 allocs/op
+`
+
+func parsedPair(t *testing.T) *Doc {
+	t.Helper()
+	doc, err := parse(strings.NewReader(newRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := parse(strings.NewReader(baseRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	join(doc, base)
+	return doc
+}
+
+func TestDedupeMinKeepsFastestRun(t *testing.T) {
+	doc, err := parse(strings.NewReader(`pkg: p
+BenchmarkStepX 	100	300 ns/op	0 B/op	0 allocs/op
+BenchmarkOther 	100	50 ns/op	0 B/op	0 allocs/op
+BenchmarkStepX 	100	200 ns/op	0 B/op	0 allocs/op
+BenchmarkStepX 	100	250 ns/op	0 B/op	0 allocs/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedupeMin(doc)
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("deduped to %d records, want 2", len(doc.Benchmarks))
+	}
+	if r := doc.Benchmarks[0]; r.Name != "StepX" || r.NsPerOp != 200 {
+		t.Errorf("kept %s %v ns/op, want StepX 200", r.Name, r.NsPerOp)
+	}
+	if r := doc.Benchmarks[1]; r.Name != "Other" || r.NsPerOp != 50 {
+		t.Errorf("kept %s %v ns/op, want Other 50", r.Name, r.NsPerOp)
+	}
+}
+
+func TestParseAndJoin(t *testing.T) {
+	doc := parsedPair(t)
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	r := doc.Benchmarks[0]
+	if r.Name != "StepM100C500SEBF" || r.NsPerOp != 2100 || r.OldNsPerOp != 2000 {
+		t.Fatalf("joined record = %+v", r)
+	}
+	if r.Speedup <= 0.95 || r.Speedup >= 0.96 {
+		t.Errorf("speedup = %v, want 2000/2100", r.Speedup)
+	}
+}
+
+func TestGateWithinBudget(t *testing.T) {
+	// +5% on Step, +2.6% on NoopTick: a 6% budget passes both.
+	if fails := checkGate(parsedPair(t), "Step", 6); len(fails) != 0 {
+		t.Errorf("within-budget run failed gate: %v", fails)
+	}
+}
+
+func TestGateCatchesNsRegression(t *testing.T) {
+	// 2100 vs 2000 is +5%; a 3% budget must flag it.
+	fails := checkGate(parsedPair(t), "Step", 3)
+	if len(fails) != 1 || !strings.Contains(fails[0], "StepM100C500SEBF") {
+		t.Errorf("gate fails = %v, want one StepM100C500SEBF ns/op failure", fails)
+	}
+}
+
+func TestGateCatchesAllocRegression(t *testing.T) {
+	doc := parsedPair(t)
+	doc.Benchmarks[0].AllocsPerOp = 2 // baseline has 0
+	fails := checkGate(doc, "Step", 50)
+	if len(fails) != 1 || !strings.Contains(fails[0], "allocs/op") {
+		t.Errorf("gate fails = %v, want one allocs/op failure", fails)
+	}
+}
+
+func TestGateIgnoresUnmatchedAndUngated(t *testing.T) {
+	doc := parsedPair(t)
+	// Decompose regressed allocs-wise? No — it improved; but even a
+	// regression outside the gate substring must not fail a Step gate.
+	doc.Benchmarks[2].NsPerOp = 99e6
+	if fails := checkGate(doc, "Step", 6); len(fails) != 0 {
+		t.Errorf("ungated benchmark failed the gate: %v", fails)
+	}
+	// A benchmark missing from the baseline is never gated.
+	doc.Benchmarks = append(doc.Benchmarks, Record{Name: "StepBrandNew", NsPerOp: 1e9})
+	if fails := checkGate(doc, "Step", 6); len(fails) != 0 {
+		t.Errorf("baseline-less benchmark failed the gate: %v", fails)
+	}
+}

@@ -6,7 +6,7 @@
 //
 //	coflowsim [-trace trace.json] [-order HLP|Hrho|HA] [-grouping]
 //	          [-backfill] [-recompute] [-randomized] [-seed 1]
-//	          [-weights equal|random] [-filter 0] [-lower] [-v]
+//	          [-weights equal|random] [-filter 0] [-lower] [-v] [-obs]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Without -trace a synthetic bench-scale workload is generated.
@@ -26,6 +26,10 @@ import (
 	"strings"
 
 	"coflow"
+	"coflow/internal/bvn"
+	"coflow/internal/lp"
+	"coflow/internal/obs"
+	"coflow/internal/online"
 	"coflow/internal/stats"
 	"coflow/internal/switchsim"
 	"coflow/internal/trace"
@@ -51,9 +55,21 @@ func main() {
 	lower := flag.Bool("lower", false, "also solve the interval LP lower bound")
 	gantt := flag.Bool("gantt", false, "render an ASCII Gantt chart of the schedule (bvn engine, small instances)")
 	verbose := flag.Bool("v", false, "print per-coflow completions")
+	obsFlag := flag.Bool("obs", false, "instrument the pipeline and print a per-stage timing table at exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
+
+	if *obsFlag {
+		reg := setupObs()
+		// Deferred so every engine path (bvn, fluid, online) reports.
+		defer func() {
+			fmt.Println()
+			if err := reg.WriteTable(os.Stdout); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -164,6 +180,19 @@ func main() {
 	if *gantt {
 		printGantt(ins, res, *backfill && !*randomized, *recompute && !*randomized)
 	}
+}
+
+// setupObs builds one registry and installs the package-level
+// instrumentation hooks for every engine the simulator can run: the
+// simplex solver, BvN decomposition (including its matcher), the
+// crossbar executors, and the online slot pipeline.
+func setupObs() *obs.Registry {
+	reg := obs.NewRegistry()
+	lp.SetObs(lp.NewObs(reg))
+	bvn.SetObs(bvn.NewObs(reg))
+	switchsim.SetObs(switchsim.NewObs(reg))
+	online.SetDefaultObs(online.NewObs(reg))
+	return reg
 }
 
 // printGantt replays the exact schedule (same order, stages, and

@@ -14,6 +14,7 @@
 //	-seed S      trace seed
 //	-filters a,b,c  M0 thresholds (default 50,40,30)
 //	-recompute   enable the work-conserving scheduling extension
+//	-obsjson F   write per-stage pipeline timings as JSON to F (- for stdout)
 package main
 
 import (
@@ -24,7 +25,12 @@ import (
 	"strconv"
 	"strings"
 
+	"coflow/internal/bvn"
 	"coflow/internal/experiments"
+	"coflow/internal/lp"
+	"coflow/internal/obs"
+	"coflow/internal/online"
+	"coflow/internal/switchsim"
 	"coflow/internal/trace"
 )
 
@@ -39,6 +45,7 @@ func main() {
 	filtersArg := fs.String("filters", "50,40,30", "comma-separated M0 thresholds")
 	recompute := fs.Bool("recompute", false, "work-conserving scheduling extension")
 	weightSeed := fs.Int64("weightseed", 7, "seed for the random-permutation weighting")
+	obsJSON := fs.String("obsjson", "", "instrument the pipeline and write per-stage timings as JSON to this file (- for stdout)")
 
 	if len(os.Args) < 2 {
 		usage()
@@ -59,6 +66,15 @@ func main() {
 	cfg.Filters = filters
 	cfg.Recompute = *recompute
 	cfg.WeightSeed = *weightSeed
+
+	if *obsJSON != "" {
+		reg := obs.NewRegistry()
+		lp.SetObs(lp.NewObs(reg))
+		bvn.SetObs(bvn.NewObs(reg))
+		switchsim.SetObs(switchsim.NewObs(reg))
+		online.SetDefaultObs(online.NewObs(reg))
+		defer writeObsJSON(reg, *obsJSON)
+	}
 
 	switch sub {
 	case "table1":
@@ -125,6 +141,21 @@ func fail(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// writeObsJSON dumps the collected stage timings (-obsjson).
+func writeObsJSON(reg *obs.Registry, path string) {
+	if path == "-" {
+		fail(reg.WriteJSON(os.Stdout))
+		return
+	}
+	f, err := os.Create(path)
+	fail(err)
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		fail(err)
+	}
+	fail(f.Close())
 }
 
 func mustReport(cfg experiments.Config) *experiments.Report {

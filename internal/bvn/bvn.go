@@ -83,7 +83,10 @@ func Augment(d *matrix.Matrix) *matrix.Matrix {
 // matrix whose support has no perfect matching), which cannot happen
 // for valid inputs.
 func Decompose(d *matrix.Matrix) (*Decomposition, error) {
+	decSpan := pkgObs.DecomposeSeconds.Start()
+	augSpan := pkgObs.AugmentSeconds.Start()
 	aug := Augment(d)
+	augSpan.End()
 	dec := &Decomposition{Load: d.Load(), Augmented: aug.Clone()}
 	work := aug
 	m := d.Rows()
@@ -93,10 +96,12 @@ func Decompose(d *matrix.Matrix) (*Decomposition, error) {
 	// matching minus its zeroed edges: most iterations repair with a
 	// handful of augmenting paths instead of a cold O(E·√V) solve.
 	matcher := matching.NewMatcher(m)
+	matcher.SetObs(pkgObs.Matcher)
 	for !work.IsZero() {
 		if len(dec.Terms) >= maxTerms {
 			return nil, fmt.Errorf("bvn: more than m²=%d terms extracted; invariant violated", m*m)
 		}
+		exSpan := pkgObs.ExtractSeconds.Start()
 		perm, err := matcher.PerfectOnSupport(work)
 		if err != nil {
 			return nil, fmt.Errorf("bvn: %w", err)
@@ -116,7 +121,11 @@ func Decompose(d *matrix.Matrix) (*Decomposition, error) {
 			work.Add(i, j, -q)
 		}
 		dec.Terms = append(dec.Terms, Term{Count: q, Perm: perm})
+		exSpan.End()
 	}
+	pkgObs.Decomposes.Inc()
+	pkgObs.Terms.Add(int64(len(dec.Terms)))
+	decSpan.End()
 	return dec, nil
 }
 

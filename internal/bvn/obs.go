@@ -1,0 +1,52 @@
+package bvn
+
+import (
+	"coflow/internal/matching"
+	"coflow/internal/obs"
+)
+
+// Obs instruments Algorithm 1. Every field is a nil-safe obs metric,
+// so the zero value (the default) is free: each site costs one nil
+// check. Hooks are package-level because Decompose is a pure function
+// with many call sites (core, switchsim, experiments); install them
+// once at startup with SetObs, before any decomposition runs.
+//
+// Stage taxonomy:
+//
+//	decompose  one whole Decompose/DecomposeWith call
+//	augment    Step 1 (balance D to D̃ with all sums = ρ)
+//	extract    Step 2 (one matching extraction + subtraction per term)
+type Obs struct {
+	DecomposeSeconds *obs.Histogram
+	AugmentSeconds   *obs.Histogram
+	ExtractSeconds   *obs.Histogram
+
+	Decomposes *obs.Counter
+	Terms      *obs.Counter
+
+	// Matcher is threaded into every decomposition's warm-started
+	// Hopcroft–Karp engine, exposing its warm-start hit rate.
+	Matcher matching.Obs
+}
+
+// pkgObs is the installed hooks; the zero value disables them.
+var pkgObs Obs
+
+// SetObs installs package-wide instrumentation. Call once at startup
+// (it is not synchronized against concurrent decompositions); the
+// zero Obs restores the disabled default.
+func SetObs(o Obs) { pkgObs = o }
+
+// NewObs registers the decomposition metrics on r (prefix coflow_bvn_)
+// and returns the wired Obs, including matcher warm-start counters. A
+// nil registry yields the zero Obs.
+func NewObs(r *obs.Registry) Obs {
+	return Obs{
+		DecomposeSeconds: r.Histogram("coflow_bvn_decompose_seconds", "latency of one Birkhoff-von Neumann decomposition", obs.LatencyBuckets),
+		AugmentSeconds:   r.Histogram("coflow_bvn_augment_seconds", "latency of the augmentation stage (step 1)", obs.LatencyBuckets),
+		ExtractSeconds:   r.Histogram("coflow_bvn_extract_seconds", "latency of one matching extraction (step 2 iteration)", obs.LatencyBuckets),
+		Decomposes:       r.Counter("coflow_bvn_decompositions_total", "decompositions run"),
+		Terms:            r.Counter("coflow_bvn_terms_total", "permutation terms extracted"),
+		Matcher:          matching.NewObs(r),
+	}
+}

@@ -40,7 +40,10 @@ func DecomposeWith(d *matrix.Matrix, strategy Strategy) (*Decomposition, error) 
 	if strategy == StrategyFirst {
 		return Decompose(d)
 	}
+	decSpan := pkgObs.DecomposeSeconds.Start()
+	augSpan := pkgObs.AugmentSeconds.Start()
 	aug := Augment(d)
+	augSpan.End()
 	dec := &Decomposition{Load: d.Load(), Augmented: aug.Clone()}
 	work := aug
 	m := d.Rows()
@@ -50,10 +53,12 @@ func DecomposeWith(d *matrix.Matrix, strategy Strategy) (*Decomposition, error) 
 	// the new threshold graph instead of solving cold (correct for any
 	// edge-set change, fastest when supports shrink monotonically).
 	matcher := matching.NewMatcher(m)
+	matcher.SetObs(pkgObs.Matcher)
 	for !work.IsZero() {
 		if len(dec.Terms) >= maxTerms {
 			return nil, fmt.Errorf("bvn: more than m²=%d terms extracted; invariant violated", m*m)
 		}
+		exSpan := pkgObs.ExtractSeconds.Start()
 		perm, err := bottleneckMatching(work, matcher)
 		if err != nil {
 			return nil, fmt.Errorf("bvn: %w", err)
@@ -71,7 +76,11 @@ func DecomposeWith(d *matrix.Matrix, strategy Strategy) (*Decomposition, error) 
 			work.Add(i, j, -q)
 		}
 		dec.Terms = append(dec.Terms, Term{Count: q, Perm: perm})
+		exSpan.End()
 	}
+	pkgObs.Decomposes.Inc()
+	pkgObs.Terms.Add(int64(len(dec.Terms)))
+	decSpan.End()
 	return dec, nil
 }
 

@@ -122,6 +122,19 @@ type Metrics struct {
 	// Slowdown summarizes the rolling window of completed-coflow
 	// slowdowns.
 	Slowdown stats.Summary `json:"slowdown"`
+	// Wait summarizes the rolling window of completed-coflow queueing
+	// delays in slots: completion − release − load, i.e. slots spent
+	// beyond the standalone lower bound.
+	Wait stats.Summary `json:"wait"`
+	// Service summarizes the rolling window of completed-coflow ideal
+	// service times in slots (the load ρ).
+	Service stats.Summary `json:"service"`
+	// StageLatency breaks the tick down by pipeline stage (seconds,
+	// with p50/p99 estimated from the stage histograms).
+	StageLatency StageLatency `json:"stage_latency"`
+	// MatcherWarmStartHitRate is the fraction of serving steps resolved
+	// by replaying the previous slot's matching instead of a full scan.
+	MatcherWarmStartHitRate float64 `json:"matcher_warm_start_hit_rate"`
 	// SelfCheck reports whether the invariant monitor is enabled.
 	SelfCheck bool `json:"self_check"`
 	// SelfCheckViolations counts invariant violations the monitor has
@@ -177,6 +190,7 @@ type reply struct {
 // Handler, and Close it to shut down.
 type Daemon struct {
 	cfg  config
+	obs  *daemonObs
 	cmds chan command
 	quit chan struct{}
 	done chan struct{} // loop exited
@@ -214,6 +228,7 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	d := &Daemon{
 		cfg:  config{cfg},
+		obs:  newDaemonObs(),
 		cmds: make(chan command, 64),
 		quit: make(chan struct{}),
 		done: make(chan struct{}),
@@ -346,6 +361,7 @@ func (d *Daemon) loop() {
 	defer close(d.done)
 
 	state := online.NewState(d.cfg.Ports)
+	state.SetObs(d.obs.step)
 	coflows := map[int]*coflowInfo{}
 	var (
 		slot         int64
@@ -362,6 +378,8 @@ func (d *Daemon) loop() {
 	)
 	latency := stats.NewRolling(d.cfg.Window)
 	slowdown := stats.NewRolling(d.cfg.Window)
+	waits := stats.NewRolling(d.cfg.Window)
+	services := stats.NewRolling(d.cfg.Window)
 
 	// Optional invariant monitor: independent demand bookkeeping that
 	// validates sampled slots (see Config.SelfCheck). It lives in the
@@ -430,9 +448,25 @@ func (d *Daemon) loop() {
 			TickLatency:   latency.Summary(),
 			Slowdown:      slowdown.Summary(),
 
+			Wait:                    waits.Summary(),
+			Service:                 services.Summary(),
+			StageLatency:            d.obs.stageLatency(),
+			MatcherWarmStartHitRate: d.obs.step.WarmStartHitRate(),
+
 			SelfCheck:           d.cfg.SelfCheck,
 			SelfCheckViolations: violations,
 			LastViolation:       lastViolation,
+		}
+		o := d.obs
+		o.slot.Set(float64(slot))
+		o.active.Set(float64(state.Len()))
+		o.queueDepth.Set(float64(len(d.cmds)))
+		o.ticksSkipped.Set(float64(d.skippedTicks.Load()))
+		o.totalWeighted.Set(totalWC)
+		if degraded {
+			o.degraded.Set(1)
+		} else {
+			o.degraded.Set(0)
 		}
 		d.snap.Store(view)
 	}
@@ -446,6 +480,15 @@ func (d *Daemon) loop() {
 		} else {
 			slowdown.Observe(1)
 		}
+		wait := float64(at - ci.release - ci.load)
+		if wait < 0 {
+			wait = 0 // zero-demand coflows complete at release with load 0
+		}
+		waits.Observe(wait)
+		services.Observe(float64(ci.load))
+		d.obs.completed.Inc()
+		d.obs.waitSlots.Observe(wait)
+		d.obs.serviceSlots.Observe(float64(ci.load))
 	}
 
 	handle := func(c command) reply {
@@ -465,6 +508,7 @@ func (d *Daemon) loop() {
 			}
 			coflows[id] = ci
 			registered++
+			d.obs.registered.Inc()
 			if remaining == 0 {
 				// No demand: complete the moment it is released.
 				complete(ci, slot)
@@ -485,6 +529,8 @@ func (d *Daemon) loop() {
 			ticks++
 			lastTick = elapsed
 			latency.Observe(elapsed.Seconds())
+			d.obs.ticks.Inc()
+			d.obs.tickSeconds.Observe(elapsed.Seconds())
 			// res.Served aliases the State's reusable buffer; copy it,
 			// since the snapshot must stay immutable across ticks.
 			lastSchedule = append([]online.Assignment(nil), res.Served...)
@@ -493,6 +539,7 @@ func (d *Daemon) loop() {
 				if vs := mon.Observe(res, validate); len(vs) > 0 {
 					violations += int64(len(vs))
 					lastViolation = vs[len(vs)-1].String()
+					d.obs.selfCheckViolations.Add(int64(len(vs)))
 				}
 			}
 			for _, id := range res.Completed {
@@ -529,6 +576,7 @@ func (d *Daemon) loop() {
 			}
 			ci.cancelled = true
 			cancelledN++
+			d.obs.cancelled.Inc()
 			return reply{}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"coflow/internal/coflowmodel"
+	"coflow/internal/obs"
 	"coflow/internal/online"
 )
 
@@ -17,7 +18,8 @@ import (
 //	GET    /v1/coflows/{id} one coflow's status
 //	DELETE /v1/coflows/{id} cancel a live coflow
 //	GET    /v1/schedule     the matching served in the latest slot
-//	GET    /v1/metrics      live scheduler metrics
+//	GET    /v1/metrics      live scheduler metrics (JSON)
+//	GET    /metrics         the same registry in Prometheus text format
 //	GET    /healthz         liveness
 //
 // All GETs are served from the latest atomic snapshot and never touch
@@ -37,11 +39,13 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/coflows/{id}", d.handleCancel)
 	mux.HandleFunc("GET /v1/schedule", d.handleSchedule)
 	mux.HandleFunc("GET /v1/metrics", d.handleMetrics)
+	mux.HandleFunc("GET /metrics", d.handlePrometheus)
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
 	mux.HandleFunc("/v1/coflows", methodNotAllowed("GET, POST"))
 	mux.HandleFunc("/v1/coflows/{id}", methodNotAllowed("DELETE, GET"))
 	mux.HandleFunc("/v1/schedule", methodNotAllowed("GET"))
 	mux.HandleFunc("/v1/metrics", methodNotAllowed("GET"))
+	mux.HandleFunc("/metrics", methodNotAllowed("GET"))
 	mux.HandleFunc("/healthz", methodNotAllowed("GET"))
 	return mux
 }
@@ -161,6 +165,14 @@ func (d *Daemon) handleSchedule(w http.ResponseWriter, r *http.Request) {
 
 func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, d.Snapshot().Metrics)
+}
+
+// handlePrometheus scrapes the metrics registry in the Prometheus
+// text exposition format. Metrics are read atomically, so scrapes
+// never block (or wait for) the scheduler loop.
+func (d *Daemon) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	_ = d.obs.reg.WritePrometheus(w)
 }
 
 func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -163,15 +163,25 @@ func Solve(p *Problem) (*Solution, error) {
 	if p == nil || p.numVars == 0 {
 		return nil, ErrBadProblem
 	}
+	solveSpan := pkgObs.SolveSeconds.Start()
+	defer func() {
+		pkgObs.Solves.Inc()
+		solveSpan.End()
+	}()
+	setupSpan := pkgObs.SetupSeconds.Start()
 	t := newTableau(p)
+	setupSpan.End()
 	t.startWorkers()
 	defer t.stopWorkers()
 	sol := &Solution{X: make([]float64, p.numVars)}
 
 	// Phase 1: minimize the sum of artificials.
 	if t.numArt > 0 {
+		p1Span := pkgObs.Phase1Seconds.Start()
 		status, iters := t.run(t.phase1Cost(), blandAfter)
+		p1Span.End()
 		sol.Iterations += iters
+		pkgObs.Pivots.Add(int64(iters))
 		if status == IterLimit {
 			sol.Status = IterLimit
 			return sol, nil
@@ -184,8 +194,11 @@ func Solve(p *Problem) (*Solution, error) {
 	}
 
 	// Phase 2: minimize the real objective from the feasible basis.
+	p2Span := pkgObs.Phase2Seconds.Start()
 	status, iters := t.run(t.phase2Cost(p), blandAfter)
+	p2Span.End()
 	sol.Iterations += iters
+	pkgObs.Pivots.Add(int64(iters))
 	sol.Status = status
 	if status != Optimal {
 		return sol, nil
@@ -293,25 +306,6 @@ func newTableau(p *Problem) *tableau {
 		for _, e := range r.entries {
 			rowData[e.Var] += sign * e.Coef
 		}
-		// Row equilibration: divide by the largest structural
-		// coefficient magnitude so pivots stay near unit scale. This
-		// preserves the feasible set exactly (slacks are then measured
-		// in scaled units) and markedly improves conditioning on the
-		// interval LP, whose raw coefficients span ~6 orders of
-		// magnitude (flow sizes vs geometric horizons).
-		var scale float64
-		for v := 0; v < p.numVars; v++ {
-			if mag := math.Abs(rowData[v]); mag > scale {
-				scale = mag
-			}
-		}
-		if scale > 0 && scale != 1 {
-			inv := 1 / scale
-			for v := 0; v < p.numVars; v++ {
-				rowData[v] *= inv
-			}
-			rhs *= inv
-		}
 		rowData[t.numTotal] = rhs
 		switch senses[i] {
 		case LE:
@@ -330,7 +324,37 @@ func newTableau(p *Problem) *tableau {
 			artIdx++
 		}
 	}
+	t.equilibrate()
 	return t
+}
+
+// equilibrate divides each row by the largest structural coefficient
+// magnitude so pivots stay near unit scale. Only the structural
+// columns and the RHS are scaled (slack and artificial columns keep
+// their ±1, i.e. slacks are measured in scaled units), so the
+// feasible set is preserved exactly. Conditioning on the interval LP,
+// whose raw coefficients span ~6 orders of magnitude (flow sizes vs
+// geometric horizons), improves markedly.
+func (t *tableau) equilibrate() {
+	span := pkgObs.EquilibrationSeconds.Start()
+	width := t.width()
+	for i := 0; i < t.m; i++ {
+		rowData := t.a[i*width : (i+1)*width]
+		var scale float64
+		for v := 0; v < t.numVar; v++ {
+			if mag := math.Abs(rowData[v]); mag > scale {
+				scale = mag
+			}
+		}
+		if scale > 0 && scale != 1 {
+			inv := 1 / scale
+			for v := 0; v < t.numVar; v++ {
+				rowData[v] *= inv
+			}
+			rowData[t.numTotal] *= inv
+		}
+	}
+	span.End()
 }
 
 func (t *tableau) width() int        { return t.numTotal + 1 }

@@ -1,0 +1,50 @@
+package lp
+
+import "coflow/internal/obs"
+
+// Obs instruments the simplex solver. Every field is a nil-safe obs
+// metric; the zero value (the default) disables them at the cost of
+// one nil check per site. Hooks are package-level because Solve is a
+// pure function called from many places (lpmodel, openshop,
+// experiments); install them once at startup with SetObs.
+//
+// Stage taxonomy:
+//
+//	solve          one whole Solve call
+//	setup          tableau construction, including row equilibration
+//	equilibration  the row-scaling pass alone (subset of setup)
+//	phase1         feasibility phase (minimize artificial sum)
+//	phase2         optimality phase (minimize the real objective)
+type Obs struct {
+	SolveSeconds         *obs.Histogram
+	SetupSeconds         *obs.Histogram
+	EquilibrationSeconds *obs.Histogram
+	Phase1Seconds        *obs.Histogram
+	Phase2Seconds        *obs.Histogram
+
+	Solves *obs.Counter
+	// Pivots counts simplex iterations (phase 1 + phase 2).
+	Pivots *obs.Counter
+}
+
+// pkgObs is the installed hooks; the zero value disables them.
+var pkgObs Obs
+
+// SetObs installs package-wide instrumentation. Call once at startup
+// (it is not synchronized against concurrent solves); the zero Obs
+// restores the disabled default.
+func SetObs(o Obs) { pkgObs = o }
+
+// NewObs registers the solver metrics on r (prefix coflow_lp_) and
+// returns the wired Obs. A nil registry yields the zero Obs.
+func NewObs(r *obs.Registry) Obs {
+	return Obs{
+		SolveSeconds:         r.Histogram("coflow_lp_solve_seconds", "latency of one simplex solve", obs.LatencyBuckets),
+		SetupSeconds:         r.Histogram("coflow_lp_setup_seconds", "latency of tableau construction", obs.LatencyBuckets),
+		EquilibrationSeconds: r.Histogram("coflow_lp_equilibration_seconds", "latency of the row-equilibration pass", obs.LatencyBuckets),
+		Phase1Seconds:        r.Histogram("coflow_lp_phase1_seconds", "latency of the feasibility phase", obs.LatencyBuckets),
+		Phase2Seconds:        r.Histogram("coflow_lp_phase2_seconds", "latency of the optimality phase", obs.LatencyBuckets),
+		Solves:               r.Counter("coflow_lp_solves_total", "simplex solves run"),
+		Pivots:               r.Counter("coflow_lp_pivots_total", "simplex pivots across all solves"),
+	}
+}

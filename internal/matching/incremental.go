@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"coflow/internal/matrix"
+	"coflow/internal/obs"
 )
 
 // Matcher is a reusable, warm-started Hopcroft–Karp engine for the
@@ -34,6 +35,44 @@ type Matcher struct {
 	// every call.
 	adjOff []int32
 	adjDat []int32
+
+	// obs counts warm-start effectiveness (see Obs). The zero value
+	// is the disabled mode (nil-safe no-op counters).
+	obs Obs
+}
+
+// Obs instruments the warm-start machinery: Calls counts matching
+// solves, WarmHits the solves where the repaired previous matching
+// was already maximum (zero Hopcroft–Karp phases ran — the pure
+// warm-start win), Phases the total HK phases across all solves.
+// Every field is a nil-safe obs metric; the zero Obs disables them.
+type Obs struct {
+	Calls    *obs.Counter
+	WarmHits *obs.Counter
+	Phases   *obs.Counter
+}
+
+// NewObs registers the matcher metrics on r (prefix coflow_matcher_)
+// and returns the wired Obs. A nil registry yields the zero Obs.
+func NewObs(r *obs.Registry) Obs {
+	return Obs{
+		Calls:    r.Counter("coflow_matcher_calls_total", "warm-started matching solves"),
+		WarmHits: r.Counter("coflow_matcher_warm_start_hits_total", "solves where the repaired previous matching was already maximum"),
+		Phases:   r.Counter("coflow_matcher_phases_total", "Hopcroft-Karp phases run across all solves"),
+	}
+}
+
+// SetObs installs the instrumentation hooks; the zero Obs disables
+// them. Not safe to call concurrently with matching.
+func (mt *Matcher) SetObs(o Obs) { mt.obs = o }
+
+// WarmStartHitRate returns WarmHits / Calls, or 0 before any call.
+func (o *Obs) WarmStartHitRate() float64 {
+	calls := o.Calls.Value()
+	if calls == 0 {
+		return 0
+	}
+	return float64(o.WarmHits.Value()) / float64(calls)
 }
 
 // NewMatcher returns a Matcher for bipartite graphs on n+n vertices
@@ -151,12 +190,19 @@ func (mt *Matcher) PerfectOnSupport(d *matrix.Matrix) (matrix.Permutation, error
 // augmentToMax runs Hopcroft–Karp phases over the CSR adjacency from
 // the current (partial) matching until no augmenting path remains.
 func (mt *Matcher) augmentToMax() {
+	phases := int64(0)
 	for mt.bfs() {
+		phases++
 		for u := 0; u < mt.n; u++ {
 			if mt.matchL[u] == matrix.Unmatched {
 				mt.dfs(u)
 			}
 		}
+	}
+	mt.obs.Calls.Inc()
+	mt.obs.Phases.Add(phases)
+	if phases == 0 {
+		mt.obs.WarmHits.Inc()
 	}
 }
 

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one entry in the ring-buffer trace: a stage name, the
+// caller's correlation id (the scheduler passes the slot number), the
+// observed value (stage seconds), and a wall-clock timestamp. Seq is
+// a global monotone sequence number, so a dump reveals how many
+// events were overwritten between any two retained ones.
+type Event struct {
+	Seq   int64   `json:"seq"`
+	Unix  int64   `json:"unix_nanos"`
+	Stage string  `json:"stage"`
+	Slot  int64   `json:"slot"`
+	Value float64 `json:"value"`
+}
+
+// Trace is a bounded ring buffer of the most recent events. Memory is
+// fixed at construction; Record never allocates (stage strings should
+// be constants, so storing one copies a header, not bytes). A Trace
+// is safe for concurrent use; Record takes a mutex, which is fine
+// because tracing is opt-in diagnostics, not the always-on metrics
+// path. All methods are nil-receiver-safe no-ops.
+type Trace struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int   // ring write position
+	seq  int64 // events ever recorded
+}
+
+// NewTrace creates a trace retaining the most recent capacity events.
+// It panics if capacity is not positive.
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		panic("obs: non-positive Trace capacity")
+	}
+	return &Trace{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends one event, evicting the oldest when full.
+func (t *Trace) Record(stage string, slot int64, value float64) {
+	if t == nil {
+		return
+	}
+	e := Event{Unix: time.Now().UnixNano(), Stage: stage, Slot: slot, Value: value}
+	t.mu.Lock()
+	e.Seq = t.seq
+	t.seq++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next] = e
+	}
+	t.next = (t.next + 1) % cap(t.buf)
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained events (≤ capacity).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Total returns the number of events ever recorded.
+func (t *Trace) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Events returns the retained events oldest-first as a copy.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) < cap(t.buf) {
+		// Not yet wrapped: buf[0:len] is already oldest-first.
+		return append(out, t.buf...)
+	}
+	out = append(out, t.buf[t.next:]...)
+	return append(out, t.buf[:t.next]...)
+}
+
+// WriteJSON dumps the retained events oldest-first as a JSON array.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	events := t.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(events)
+}

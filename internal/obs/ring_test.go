@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	tr.Record("x", 1, 2)
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Events() != nil {
+		t.Fatal("nil trace not empty")
+	}
+	if err := tr.WriteJSON(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewTracePanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 accepted")
+		}
+	}()
+	NewTrace(0)
+}
+
+// TestTraceBoundaries pins the ring arithmetic at the same boundaries
+// as the stats.Rolling table tests: capacity 1 (every record both
+// fills and evicts), exactly full with no wrap, wrapped exactly once
+// (next has just returned to 0), and the off-by-one positions either
+// side. Each case lists the complete expected window oldest-first.
+func TestTraceBoundaries(t *testing.T) {
+	cases := []struct {
+		name      string
+		capacity  int
+		record    int // events 0..record-1, stage "s", slot = i, value = i
+		wantSlots []int64
+	}{
+		{"capacity 1, single", 1, 1, []int64{0}},
+		{"capacity 1, replaced", 1, 2, []int64{1}},
+		{"capacity 1, replaced twice", 1, 3, []int64{2}},
+		{"partial window", 3, 2, []int64{0, 1}},
+		{"exactly full, no wrap", 3, 3, []int64{0, 1, 2}},
+		{"one past full", 3, 4, []int64{1, 2, 3}},
+		{"one short of wrap", 3, 5, []int64{2, 3, 4}},
+		{"wrapped exactly once", 3, 6, []int64{3, 4, 5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := NewTrace(tc.capacity)
+			for i := 0; i < tc.record; i++ {
+				tr.Record("s", int64(i), float64(i))
+			}
+			if tr.Total() != int64(tc.record) {
+				t.Fatalf("Total = %d, want %d", tr.Total(), tc.record)
+			}
+			events := tr.Events()
+			if len(events) != len(tc.wantSlots) {
+				t.Fatalf("retained %d events, want %d", len(events), len(tc.wantSlots))
+			}
+			for i, e := range events {
+				if e.Slot != tc.wantSlots[i] {
+					t.Fatalf("event %d slot = %d, want %d (events %+v)", i, e.Slot, tc.wantSlots[i], events)
+				}
+				// Seq equals slot by construction, and must ascend by
+				// exactly one across the retained window.
+				if e.Seq != e.Slot {
+					t.Fatalf("event %d seq = %d, want %d", i, e.Seq, e.Slot)
+				}
+				if i > 0 && e.Seq != events[i-1].Seq+1 {
+					t.Fatalf("seq gap between %d and %d", events[i-1].Seq, e.Seq)
+				}
+			}
+			if tr.Len() != len(tc.wantSlots) {
+				t.Fatalf("Len = %d, want %d", tr.Len(), len(tc.wantSlots))
+			}
+		})
+	}
+}
+
+// Concurrent writers under -race: no lost events (Total is exact),
+// retained window never exceeds capacity, and every retained seq is
+// unique within the window.
+func TestTraceConcurrentWriters(t *testing.T) {
+	const capacity, workers, perWorker = 33, 8, 1000
+	tr := NewTrace(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.Record("w", int64(w), float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Total() != workers*perWorker {
+		t.Fatalf("Total = %d, want %d", tr.Total(), workers*perWorker)
+	}
+	events := tr.Events()
+	if len(events) != capacity {
+		t.Fatalf("retained %d, want capacity %d", len(events), capacity)
+	}
+	seen := map[int64]bool{}
+	for _, e := range events {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d in window", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestTraceWriteJSON(t *testing.T) {
+	tr := NewTrace(2)
+	tr.Record("sort", 1, 0.25)
+	tr.Record("match", 2, 0.5)
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"stage": "sort"`, `"stage": "match"`, `"slot": 2`, `"value": 0.5`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceRecordDoesNotAllocate(t *testing.T) {
+	tr := NewTrace(16)
+	if avg := testing.AllocsPerRun(200, func() {
+		tr.Record("stage", 3, 0.001)
+	}); avg != 0 {
+		t.Errorf("Record allocates %.1f times per op, want 0", avg)
+	}
+}

@@ -1,0 +1,94 @@
+package online
+
+import "coflow/internal/obs"
+
+// Obs is the per-stage instrumentation of the slot pipeline. Every
+// field is a nil-safe obs metric, so the zero Obs is the disabled
+// mode: Step pays one nil check per site and nothing else (the
+// TestStepDoesNotAllocate and make-check overhead gates enforce
+// this). Wire it with NewObs against a live registry, or leave the
+// State's zero value for uninstrumented use.
+//
+// Stage taxonomy (see DESIGN.md "Observability"):
+//
+//	step    the whole Step call
+//	sort    prioritizeList: priority recompute + sorted-check (+ sort)
+//	match   the greedy matching scan of a full-scan slot
+//	replay  the warm-start fast path re-serving the previous matching
+type Obs struct {
+	// Stage timers.
+	StepSeconds   *obs.Histogram
+	SortSeconds   *obs.Histogram
+	MatchSeconds  *obs.Histogram
+	ReplaySeconds *obs.Histogram
+
+	// Outcome counters. Steps counts every Step call; a serving step
+	// is either a Replay (warm-start hit: the previous slot's matching
+	// was provably still optimal and was re-served in O(served)) or a
+	// FullScan (warm-start miss: the greedy scan ran). IdleSteps had
+	// no eligible coflow. SortSkips counts sorts short-circuited by
+	// the sorted-check; SaturationExits counts full scans that stopped
+	// early because all m ports were matched.
+	Steps           *obs.Counter
+	Replays         *obs.Counter
+	FullScans       *obs.Counter
+	IdleSteps       *obs.Counter
+	SortSkips       *obs.Counter
+	SaturationExits *obs.Counter
+
+	// Work counters.
+	UnitsServed      *obs.Counter
+	CoflowsCompleted *obs.Counter
+
+	// Trace, when non-nil, receives one event per serving slot (stage
+	// "replay" or "scan", the slot number, and the stage seconds).
+	Trace *obs.Trace
+}
+
+// NewObs registers the slot-pipeline metrics on r (prefix
+// coflow_step_) and returns the wired Obs. A nil registry yields the
+// zero (disabled) Obs.
+func NewObs(r *obs.Registry) Obs {
+	return Obs{
+		StepSeconds:   r.Histogram("coflow_step_seconds", "latency of one scheduling step", obs.LatencyBuckets),
+		SortSeconds:   r.Histogram("coflow_step_sort_seconds", "latency of the priority sort stage (SEBF sort / sorted-check)", obs.LatencyBuckets),
+		MatchSeconds:  r.Histogram("coflow_step_match_seconds", "latency of the greedy matching scan stage", obs.LatencyBuckets),
+		ReplaySeconds: r.Histogram("coflow_step_replay_seconds", "latency of the warm-start replay fast path", obs.LatencyBuckets),
+
+		Steps:           r.Counter("coflow_steps_total", "scheduling steps taken"),
+		Replays:         r.Counter("coflow_step_matcher_warm_start_hits_total", "serving steps satisfied by replaying the previous matching (warm-start hits)"),
+		FullScans:       r.Counter("coflow_step_matcher_warm_start_misses_total", "serving steps that ran the full greedy matching scan (warm-start misses)"),
+		IdleSteps:       r.Counter("coflow_step_idle_total", "steps with no eligible coflow"),
+		SortSkips:       r.Counter("coflow_step_sort_skips_total", "priority sorts skipped by the sorted-check"),
+		SaturationExits: r.Counter("coflow_step_saturation_exits_total", "matching scans stopped early with all ports matched"),
+
+		UnitsServed:      r.Counter("coflow_units_served_total", "data units transferred"),
+		CoflowsCompleted: r.Counter("coflow_completions_total", "coflows completed by the scheduler"),
+	}
+}
+
+// SetObs installs the instrumentation hooks. The zero Obs disables
+// them. Call between steps, not concurrently with Step.
+func (s *State) SetObs(o Obs) { s.obs = o }
+
+// pkgObs is the default instrumentation inherited by States the batch
+// drivers (Simulate, SimulateOrder) create internally; the zero value
+// disables it. Long-lived owners like the daemon wire their State
+// explicitly with SetObs instead.
+var pkgObs Obs
+
+// SetDefaultObs installs instrumentation for batch simulations. Call
+// once at startup (not synchronized against concurrent simulations);
+// the zero Obs restores the disabled default.
+func SetDefaultObs(o Obs) { pkgObs = o }
+
+// WarmStartHitRate returns replays / (replays + full scans), the
+// fraction of serving slots satisfied without a matching scan, or 0
+// before any serving slot.
+func (o *Obs) WarmStartHitRate() float64 {
+	hits, misses := o.Replays.Value(), o.FullScans.Value()
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}

@@ -118,6 +118,7 @@ func simulate(ins *coflowmodel.Instance, stepFn func(*State, int64) StepResult) 
 	}
 	n := len(ins.Coflows)
 	state := NewState(ins.Ports)
+	state.SetObs(pkgObs)
 	res := &Result{Completion: make([]int64, n)}
 	for k := range ins.Coflows {
 		c := &ins.Coflows[k]
@@ -196,6 +197,7 @@ func (s *State) prioritizeList(policy Policy) bool {
 	switch policy {
 	case FIFO:
 		if s.fifoSorted {
+			s.obs.SortSkips.Inc()
 			return true
 		}
 		if sorted := slices.IsSortedFunc(list, fifoCmp); !sorted {
@@ -204,6 +206,7 @@ func (s *State) prioritizeList(policy Policy) bool {
 			return false
 		}
 		s.fifoSorted = true
+		s.obs.SortSkips.Inc()
 		return true
 	case SEBF:
 		for _, st := range list {
@@ -219,5 +222,6 @@ func (s *State) prioritizeList(policy Policy) bool {
 		s.fifoSorted = false
 		return false
 	}
+	s.obs.SortSkips.Inc()
 	return true
 }

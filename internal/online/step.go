@@ -43,6 +43,12 @@ type State struct {
 	// O(n) sorted-check.
 	fifoSorted bool
 
+	// obs is the per-stage instrumentation (see obs.go). The zero
+	// value is the disabled mode: every hook is a nil-safe no-op, so
+	// an uninstrumented State keeps the zero-allocation, branch-only
+	// Step contract.
+	obs Obs
+
 	// Warm-start replay state. The greedy matching is a deterministic
 	// function of (coflow visit order, zero/non-zero demand pattern),
 	// so when neither changed since the previous slot the previous
@@ -233,10 +239,14 @@ func (s *State) NextRelease(t int64) int64 {
 // work is near-linear in the live demand; the paper's offline
 // constant-factor guarantees do not transfer to this scheduler.
 func (s *State) Step(slot int64, policy Policy) StepResult {
+	stepSpan := s.obs.StepSeconds.Start()
+	s.obs.Steps.Inc()
 	// The whole live list is kept in policy order (a sorted-check
 	// short-circuits steady-state slots where no priority moved); the
 	// active set then inherits that order when it is filtered out.
+	sortSpan := s.obs.SortSeconds.Start()
 	alreadySorted := s.prioritizeList(policy)
+	sortSpan.End()
 	// Replay the previous slot's matching when it provably recurs:
 	// same visit order (no re-sort), same zero/non-zero demand pattern
 	// (nothing added, removed, or completed), no release crossed into
@@ -245,19 +255,27 @@ func (s *State) Step(slot int64, policy Policy) StepResult {
 	// can complete a coflow, so the full scan must run to detect it.
 	if alreadySorted && s.canReplay && s.minServedRem >= 2 &&
 		(s.nextPending < 0 || slot <= s.nextPending) {
-		return s.replay(slot)
+		res := s.replay(slot)
+		stepSpan.End()
+		return res
 	}
-	return s.step(slot, nil)
+	res := s.step(slot, nil)
+	stepSpan.End()
+	return res
 }
 
 // replay re-serves the previous slot's matching: one decrement per
 // served pair, no scan. Preconditions (checked by Step) guarantee the
 // full scan would produce exactly this result.
 func (s *State) replay(slot int64) StepResult {
+	span := s.obs.ReplaySeconds.Start()
 	for _, loc := range s.servedAt {
 		loc.d.Dec(loc.e, 1)
 	}
 	s.minServedRem--
+	s.obs.Replays.Inc()
+	s.obs.UnitsServed.Add(int64(len(s.served)))
+	span.EndWithTrace(s.obs.Trace, "replay", slot)
 	return StepResult{
 		Slot:      slot,
 		Served:    s.served,
@@ -285,12 +303,14 @@ func (s *State) step(slot int64, reorder func([]*cfState)) StepResult {
 	res.Active = len(s.active)
 	if res.Active == 0 {
 		s.canReplay = false
+		s.obs.IdleSteps.Inc()
 		return res
 	}
 	if reorder != nil {
 		reorder(s.active)
 	}
 
+	matchSpan := s.obs.MatchSeconds.Start()
 	for i := range s.rowBusy {
 		s.rowBusy[i] = false
 	}
@@ -327,9 +347,14 @@ func (s *State) step(slot int64, reorder func([]*cfState)) StepResult {
 			s.drop(st)
 		}
 		if len(s.served) == s.ports {
+			s.obs.SaturationExits.Inc()
 			break
 		}
 	}
+	matchSpan.EndWithTrace(s.obs.Trace, "scan", slot)
+	s.obs.FullScans.Inc()
+	s.obs.UnitsServed.Add(int64(len(s.served)))
+	s.obs.CoflowsCompleted.Add(int64(len(s.completed)))
 	res.Served = s.served
 	res.Completed = s.completed
 	// A completed coflow changed the active set; an explicit reorder

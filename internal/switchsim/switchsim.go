@@ -238,6 +238,7 @@ func Execute(plan *Plan) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	execSpan := pkgObs.ExecuteSeconds.Start()
 	var t int64
 	matchings := 0
 	for _, st := range plan.Stages {
@@ -252,6 +253,7 @@ func Execute(plan *Plan) (*Result, error) {
 		if d.IsZero() {
 			continue
 		}
+		stageSpan := pkgObs.StageSeconds.Start()
 		dec, err := bvn.DecomposeWith(d, e.plan.Strategy)
 		if err != nil {
 			return nil, err
@@ -265,7 +267,12 @@ func Execute(plan *Plan) (*Result, error) {
 			t += term.Count
 			matchings++
 		}
+		stageSpan.End()
+		pkgObs.Stages.Inc()
 	}
+	pkgObs.Executes.Inc()
+	pkgObs.Matchings.Add(int64(matchings))
+	execSpan.End()
 	return e.finish(t, matchings)
 }
 
@@ -278,6 +285,7 @@ func ExecuteSlotAccurate(plan *Plan) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	execSpan := pkgObs.ExecuteSeconds.Start()
 	var t int64
 	matchings := 0
 	for _, st := range plan.Stages {
@@ -311,6 +319,9 @@ func ExecuteSlotAccurate(plan *Plan) (*Result, error) {
 			matchings++
 		}
 	}
+	pkgObs.Executes.Inc()
+	pkgObs.Matchings.Add(int64(matchings))
+	execSpan.End()
 	return e.finish(t, matchings)
 }
 
