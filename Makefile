@@ -1,7 +1,7 @@
 # Standard developer entry points. Everything is stdlib-only Go; no
 # tools beyond the toolchain are required.
 
-.PHONY: build test check slowcheck bench bench-baseline bench-all
+.PHONY: build test check lint escapecheck escapebaseline slowcheck bench bench-baseline bench-all
 
 build:
 	go build ./...
@@ -10,14 +10,34 @@ build:
 test:
 	go build ./... && go test ./...
 
-# Pre-merge gate: vet everything, race-test the slot-pipeline
-# packages (matrix, matching, online, switchsim), the obs metrics
-# kernel, and the daemon's single-writer loop that drives them, then
-# the differential-oracle sweep (slowcheck) and the Step perf
-# regression gate (bench).
-check: slowcheck bench
-	go vet ./...
+# Pre-merge gate, cheapest checks first: the project analyzers (lint)
+# and the escape-analysis gate fail in seconds with file:line
+# diagnostics, so they run before vet, the race suites, the
+# differential-oracle sweep (slowcheck) and the Step perf regression
+# gate (bench).
+check: lint escapecheck slowcheck bench
+	go vet -unsafeptr ./...
 	go test -race ./internal/matrix/... ./internal/matching/... ./internal/obs/... ./internal/online/... ./internal/switchsim/... ./internal/daemon/...
+
+# Project-specific static analysis (internal/lint run by
+# cmd/coflowvet): allocation-freedom of //coflow:allocfree functions,
+# nil-receiver guards and span hygiene in the obs layer, "guarded by"
+# lock discipline, and silently discarded errors. See DESIGN.md
+# "Static analysis".
+lint:
+	go run ./cmd/coflowvet
+
+# Escape-analysis gate for //coflow:allocfree functions, compare-only
+# against the committed baseline: a NEW "escapes to heap" inside an
+# annotated function fails; pre-existing ones are grandfathered in
+# bench/escapes-baseline.txt.
+escapecheck:
+	go run ./cmd/escapecheck
+
+# Rotate the escape baseline after a deliberate change; commit the
+# resulting bench/escapes-baseline.txt.
+escapebaseline:
+	go run ./cmd/escapecheck -write
 
 # Differential oracle at full depth: the slowcheck-tagged sweeps
 # (larger fabrics, every policy, state diffs every slot) plus a
@@ -39,13 +59,14 @@ slowcheck:
 # committed; rotate the baseline explicitly with bench-baseline after
 # an intentional perf change. (bench/pr1-baseline.txt is the frozen
 # pre-optimization record the PR 2 speedup numbers in EXPERIMENTS.md
-# are measured against.)
+# are measured against.) The JSON report lands in $(BENCHOUT).
 MAXREGRESS ?= 20
+BENCHOUT ?= BENCH_PR5.json
 bench:
 	go test -bench='^(BenchmarkStep|BenchmarkDecompose)' -benchmem -benchtime=1s -count=3 -run='^$$' \
 		./internal/online/ ./internal/bvn/ > bench/latest.txt
 	go run ./cmd/benchjson -old bench/baseline.txt -gate Step -maxregress $(MAXREGRESS) \
-		< bench/latest.txt > BENCH_PR4.json
+		< bench/latest.txt > $(BENCHOUT)
 
 # Rotate the rolling baseline the bench gate compares against. Run on
 # an idle machine and commit the new bench/baseline.txt.

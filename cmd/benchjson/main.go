@@ -80,7 +80,8 @@ func main() {
 			log.Fatal(err)
 		}
 		base, err := parse(f)
-		f.Close()
+		// Read-only file: Close cannot lose data, parse errors are checked below.
+		_ = f.Close()
 		if err != nil {
 			log.Fatal(err)
 		}

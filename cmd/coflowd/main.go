@@ -78,11 +78,11 @@ func main() {
 	}
 
 	d, err := daemon.New(daemon.Config{
-		Ports:        *ports,
-		Policy:       policy,
-		Tick:         *tick,
-		Deadline:     *deadline,
-		MaxBody:      *maxBody,
+		Ports:          *ports,
+		Policy:         policy,
+		Tick:           *tick,
+		Deadline:       *deadline,
+		MaxBody:        *maxBody,
 		Window:         *window,
 		SnapshotPath:   *snapshot,
 		SelfCheck:      *selfCheck,

@@ -89,9 +89,12 @@ func main() {
 				log.Print(err)
 				return
 			}
-			defer f.Close()
 			runtime.GC() // materialize the post-run live set
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+			// A close error here means a truncated profile.
+			if err := f.Close(); err != nil {
 				log.Printf("memprofile: %v", err)
 			}
 		}()
@@ -262,6 +265,7 @@ func loadInstance(path, format string, unitMillis float64) (*coflow.Instance, er
 		if err != nil {
 			return nil, err
 		}
+		//lint:ignore errflow read-only file: Close cannot lose data and read errors surface from the parser
 		defer f.Close()
 		return trace.ParseBenchmarkFormat(f, unitMillis)
 	}

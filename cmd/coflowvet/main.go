@@ -1,0 +1,63 @@
+// Command coflowvet runs the project's static analyzers (see
+// internal/lint) over the whole module and prints one line per
+// finding:
+//
+//	file:line:col: [analyzer] message
+//
+// It exits 1 if any diagnostic survives the //lint:ignore
+// suppressions, 2 on load errors. Run it via "make lint"; it is the
+// first gate of "make check".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"coflow/internal/lint"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory inside the module to vet")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	diags, root, err := run(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coflowvet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "coflowvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func run(dir string) ([]lint.Diagnostic, string, error) {
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return nil, "", err
+	}
+	index := lint.BuildIndex(pkgs)
+	return lint.Run(pkgs, lint.All, index), loader.ModuleRoot, nil
+}

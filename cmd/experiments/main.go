@@ -152,7 +152,8 @@ func writeObsJSON(reg *obs.Registry, path string) {
 	f, err := os.Create(path)
 	fail(err)
 	if err := reg.WriteJSON(f); err != nil {
-		f.Close()
+		// Already failing: the write error wins over the close error.
+		_ = f.Close()
 		fail(err)
 	}
 	fail(f.Close())

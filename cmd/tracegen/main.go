@@ -51,7 +51,6 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
 		w = f
 	}
 	switch *format {
@@ -66,6 +65,10 @@ func main() {
 		log.Fatal(err)
 	}
 	if *out != "" {
+		// A close error on the output file means lost trace data.
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Fprintf(os.Stderr, "wrote %d coflows to %s\n", len(ins.Coflows), *out)
 	}
 }

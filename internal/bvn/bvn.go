@@ -84,6 +84,7 @@ func Augment(d *matrix.Matrix) *matrix.Matrix {
 // for valid inputs.
 func Decompose(d *matrix.Matrix) (*Decomposition, error) {
 	decSpan := pkgObs.DecomposeSeconds.Start()
+	defer decSpan.End()
 	augSpan := pkgObs.AugmentSeconds.Start()
 	aug := Augment(d)
 	augSpan.End()
@@ -104,6 +105,7 @@ func Decompose(d *matrix.Matrix) (*Decomposition, error) {
 		exSpan := pkgObs.ExtractSeconds.Start()
 		perm, err := matcher.PerfectOnSupport(work)
 		if err != nil {
+			exSpan.End()
 			return nil, fmt.Errorf("bvn: %w", err)
 		}
 		// q = min entry along the matching: subtracting q·Π zeroes at
@@ -115,6 +117,7 @@ func Decompose(d *matrix.Matrix) (*Decomposition, error) {
 			}
 		}
 		if q <= 0 {
+			exSpan.End()
 			return nil, fmt.Errorf("bvn: non-positive multiplicity %d; invariant violated", q)
 		}
 		for i, j := range perm.To {
@@ -125,7 +128,6 @@ func Decompose(d *matrix.Matrix) (*Decomposition, error) {
 	}
 	pkgObs.Decomposes.Inc()
 	pkgObs.Terms.Add(int64(len(dec.Terms)))
-	decSpan.End()
 	return dec, nil
 }
 

@@ -41,6 +41,7 @@ func DecomposeWith(d *matrix.Matrix, strategy Strategy) (*Decomposition, error) 
 		return Decompose(d)
 	}
 	decSpan := pkgObs.DecomposeSeconds.Start()
+	defer decSpan.End()
 	augSpan := pkgObs.AugmentSeconds.Start()
 	aug := Augment(d)
 	augSpan.End()
@@ -61,6 +62,7 @@ func DecomposeWith(d *matrix.Matrix, strategy Strategy) (*Decomposition, error) 
 		exSpan := pkgObs.ExtractSeconds.Start()
 		perm, err := bottleneckMatching(work, matcher)
 		if err != nil {
+			exSpan.End()
 			return nil, fmt.Errorf("bvn: %w", err)
 		}
 		var q int64 = -1
@@ -70,6 +72,7 @@ func DecomposeWith(d *matrix.Matrix, strategy Strategy) (*Decomposition, error) 
 			}
 		}
 		if q <= 0 {
+			exSpan.End()
 			return nil, fmt.Errorf("bvn: non-positive multiplicity %d; invariant violated", q)
 		}
 		for i, j := range perm.To {
@@ -80,7 +83,6 @@ func DecomposeWith(d *matrix.Matrix, strategy Strategy) (*Decomposition, error) 
 	}
 	pkgObs.Decomposes.Inc()
 	pkgObs.Terms.Add(int64(len(dec.Terms)))
-	decSpan.End()
 	return dec, nil
 }
 

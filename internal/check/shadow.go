@@ -21,8 +21,8 @@ type Op struct {
 	// Key identifies the coflow for add/remove.
 	Key int `json:"key,omitempty"`
 	// Weight and Release parameterize an add.
-	Weight  float64           `json:"weight,omitempty"`
-	Release int64             `json:"release,omitempty"`
+	Weight  float64            `json:"weight,omitempty"`
+	Release int64              `json:"release,omitempty"`
 	Flows   []coflowmodel.Flow `json:"flows,omitempty"`
 	// Slot and Policy parameterize a step.
 	Slot   int64 `json:"slot,omitempty"`
@@ -399,12 +399,14 @@ func dumpReproducer(path string, ports int, div *Divergence) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(reproducer{Ports: ports, Divergence: div}); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		// Already failing: the encode error wins, the temp file is junk.
+		_ = f.Close()
+		_ = os.Remove(tmp) // best effort: the temp file is junk
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		// Already failing: best-effort removal of the unusable temp file.
+		_ = os.Remove(tmp)
 		return err
 	}
 	return os.Rename(tmp, path)

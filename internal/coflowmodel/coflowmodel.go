@@ -282,6 +282,7 @@ func (ins *Instance) WriteFile(path string) error {
 	if err != nil {
 		return err
 	}
+	//lint:ignore errflow safety net for early returns; the success path checks the explicit Close below
 	defer f.Close()
 	if err := ins.Write(f); err != nil {
 		return err
@@ -295,6 +296,7 @@ func ReadFile(path string) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore errflow read-only file: Close cannot lose data and read errors surface from Read
 	defer f.Close()
 	return Read(f)
 }

@@ -154,21 +154,24 @@ type Snapshot struct {
 	Metrics  Metrics             `json:"metrics"`
 }
 
-// coflowInfo is the loop-private bookkeeping for one coflow.
+// coflowInfo is the loop-private bookkeeping for one coflow. The
+// "loop" guard names a serialization domain, not a mutex: only the
+// single-writer event loop (see Daemon.loop) may touch these fields,
+// which coflowvet's guardedby analyzer enforces.
 type coflowInfo struct {
 	id        int
 	weight    float64
 	release   int64
 	total     int64
 	load      int64
-	completed int64 // completion slot, -1 while live
-	cancelled bool
+	completed int64 // completion slot, -1 while live; guarded by loop
+	cancelled bool  // guarded by loop
 	// terminal is the immutable published status once the coflow
 	// completed or was cancelled. Terminal statuses never change, so
 	// one allocation is shared by every subsequent snapshot instead of
 	// being rebuilt per tick (snapshots would otherwise cost O(all
 	// coflows ever registered) per slot on a long-running daemon).
-	terminal *CoflowStatus
+	terminal *CoflowStatus // guarded by loop
 }
 
 type command struct {
@@ -319,16 +322,19 @@ func (d *Daemon) writeSnapshot(path string) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(d.Snapshot()); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		// Already failing: the encode error wins, the temp file is junk.
+		_ = f.Close()
+		_ = os.Remove(tmp) // best effort: the temp file is junk
 		return fmt.Errorf("daemon: encode snapshot: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		// Already failing: best-effort removal of the unusable temp file.
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+		// Already failing: best-effort removal of the unusable temp file.
+		_ = os.Remove(tmp)
 		return err
 	}
 	return nil
@@ -357,6 +363,8 @@ func (d *Daemon) ticker() {
 
 // loop is the single writer: it owns every piece of mutable
 // scheduling state below and is the only goroutine that touches it.
+//
+//coflow:singlewriter
 func (d *Daemon) loop() {
 	defer close(d.done)
 

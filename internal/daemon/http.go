@@ -64,6 +64,8 @@ func methodNotAllowed(allow string) http.HandlerFunc {
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
+	// Best effort: the status is already written and a failed encode
+	// means the client is gone; nothing useful remains to report.
 	_ = json.NewEncoder(w).Encode(v)
 }
 
@@ -172,6 +174,7 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // never block (or wait for) the scheduler loop.
 func (d *Daemon) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	// Best effort: a short scrape means the scraper disconnected.
 	_ = d.obs.reg.WritePrometheus(w)
 }
 

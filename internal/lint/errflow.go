@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrFlow forbids silently discarded error returns: calling an
+// error-returning function as a bare statement (including go/defer),
+// or blanking an error with "_ =", loses failures like a short HTTP
+// write or a snapshot encode with no trace. Discarding must be
+// visible and justified:
+//
+//	_ = enc.Encode(v) // best effort: client may be gone
+//
+// i.e. an "_ =" assignment needs a comment on the same line or the
+// line directly above; a bare call is never acceptable (make the
+// discard explicit with "_ =" plus the comment, or handle the
+// error).
+//
+// Allowlisted as error-free by documented contract:
+//
+//   - fmt.Print/Printf/Println, and fmt.Fprint* directed at
+//     os.Stdout/os.Stderr (process output; nothing sane to do on
+//     failure)
+//   - methods on *strings.Builder and *bytes.Buffer (documented to
+//     never return an error), and fmt.Fprint* into either
+//   - fmt.Fprint* into *bufio.Writer and *tabwriter.Writer: their
+//     write errors are sticky and reported by the Flush call the
+//     enclosing function must make (Flush errors ARE checked)
+//
+// examples/ packages are exempt — they are narrative code.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "no silently discarded error returns; _ = needs an adjacent justification comment",
+	Run:  runErrFlow,
+}
+
+func runErrFlow(pass *Pass) {
+	if pass.Pkg.Module != "" && strings.HasPrefix(pass.Pkg.Path, pass.Pkg.Module+"/examples") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		commented := commentLines(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call)
+				}
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, n.Call)
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, n.Call)
+			case *ast.AssignStmt:
+				checkBlankedErrors(pass, n, commented)
+			}
+			return true
+		})
+	}
+}
+
+// commentLines records which lines of f carry (or are directly
+// covered by) a comment, for the justification-adjacency test.
+func commentLines(pass *Pass, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		start := pass.Fset.Position(cg.Pos()).Line
+		end := pass.Fset.Position(cg.End()).Line
+		for l := start; l <= end; l++ {
+			lines[l] = true
+		}
+	}
+	return lines
+}
+
+// checkDiscardedCall flags a statement-position call that returns an
+// error.
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr) {
+	if !returnsError(pass, call) || allowlisted(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error result of %s is silently discarded (handle it, or assign to _ with a justification comment)",
+		describeExpr(call.Fun))
+}
+
+// checkBlankedErrors flags `_ = err-returning-expr` (in any position
+// of the assignment) when no comment sits on the same line or the
+// line above.
+func checkBlankedErrors(pass *Pass, as *ast.AssignStmt, commented map[int]bool) {
+	blanksError := false
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// Tuple assignment: x, _ := f()
+		tup, ok := pass.TypeOf(as.Rhs[0]).(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && i < tup.Len() && isErrType(tup.At(i).Type()) {
+				blanksError = true
+			}
+		}
+	} else {
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && i < len(as.Rhs) && isErrType(pass.TypeOf(as.Rhs[i])) {
+				if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok && allowlisted(pass, call) {
+					continue
+				}
+				blanksError = true
+			}
+		}
+	}
+	if !blanksError {
+		return
+	}
+	line := pass.Fset.Position(as.Pos()).Line
+	if commented[line] || commented[line-1] {
+		return
+	}
+	pass.Reportf(as.Pos(), "_ discards an error without an adjacent justification comment (same line or the line above)")
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// returnsError reports whether the call's result(s) include an
+// error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrType(t)
+}
+
+// allowlisted reports whether the call's error is unfailable (or
+// unactionable) by documented contract.
+func allowlisted(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		}
+		if strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+			dst := ast.Unparen(call.Args[0])
+			if sel, ok := dst.(*ast.SelectorExpr); ok {
+				if obj := pass.Pkg.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+					return true
+				}
+			}
+			if infallibleWriter(pass.TypeOf(dst)) {
+				return true
+			}
+		}
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch sig.Recv().Type().String() {
+		case "*strings.Builder", "*bytes.Buffer":
+			return true
+		}
+	}
+	return false
+}
+
+// infallibleWriter reports whether writes to t either never fail
+// (strings.Builder, bytes.Buffer) or stick and resurface at the Flush
+// the enclosing function must call (bufio.Writer, tabwriter.Writer).
+func infallibleWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.String() {
+	case "*strings.Builder", "*bytes.Buffer", "*bufio.Writer", "*text/tabwriter.Writer":
+		return true
+	}
+	return false
+}

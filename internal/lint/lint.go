@@ -1,0 +1,298 @@
+// Package lint is the project's static-analysis framework: a
+// stdlib-only (go/parser, go/ast, go/types, go/importer — no x/tools)
+// multi-analyzer harness that proves the repo's performance and
+// concurrency invariants at "make check" time, before any benchmark
+// or fuzzer can observe a regression at runtime.
+//
+// Four project-specific analyzers ship with it (see their files):
+//
+//	allocfree  functions annotated //coflow:allocfree must not contain
+//	           allocation-causing constructs (the static sibling of
+//	           online.TestStepDoesNotAllocate)
+//	obsguard   exported methods on internal/obs pointer metric types
+//	           must begin with a nil-receiver guard, and every
+//	           Histogram.Start span must reach End on all return paths
+//	guardedby  struct fields annotated "// guarded by <mu>" may only
+//	           be touched under that mutex or from a
+//	           //coflow:singlewriter function
+//	errflow    no silently discarded error returns; "_ =" needs an
+//	           adjacent justification comment
+//
+// Annotation grammar (all annotations are ordinary comments):
+//
+//	//coflow:allocfree      on a function: its body must be
+//	                        allocation-free (checked by allocfree,
+//	                        gated against escape analysis by
+//	                        cmd/escapecheck)
+//	//coflow:singlewriter   on a function: it runs on the single
+//	                        goroutine that owns the touched state
+//	// guarded by <mu>      on a struct field: accesses require
+//	                        <mu>.Lock()/RLock() in the same function,
+//	                        or a //coflow:singlewriter function; when
+//	                        <mu> is not a sibling sync.Mutex/RWMutex
+//	                        field, it names a serialization domain and
+//	                        only //coflow:singlewriter functions
+//	                        qualify
+//
+// Suppression: a diagnostic is silenced by
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// either trailing the offending line or on the line directly above
+// it. The reason is mandatory — a reasonless ignore is itself a
+// diagnostic — so every suppression in the tree documents why the
+// construct is acceptable.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// All is the shipped analyzer set, in the order cmd/coflowvet runs
+// them.
+var All = []*Analyzer{AllocFree, ObsGuard, GuardedBy, ErrFlow}
+
+// Diagnostic is one analyzer finding at a resolved source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// Analyzer is one named check run over every loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries everything one analyzer needs for one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	Index    *Index
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.Defs[id]; o != nil {
+		return o
+	}
+	return p.Pkg.Info.Uses[id]
+}
+
+// Index is the module-wide annotation index shared by every pass:
+// which function objects carry which //coflow: annotations. It spans
+// packages — the loader shares type objects across the load, so a
+// call in internal/online to a function annotated in internal/matrix
+// resolves to the same *types.Func the index recorded.
+type Index struct {
+	funcs map[types.Object]map[string]bool
+}
+
+// BuildIndex scans every package's function declarations for
+// //coflow:<word> annotations.
+func BuildIndex(pkgs []*Package) *Index {
+	idx := &Index{funcs: map[types.Object]map[string]bool{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				anns := FuncAnnotations(fd)
+				if len(anns) == 0 {
+					continue
+				}
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					idx.funcs[obj] = anns
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// Annotated reports whether the function object carries the
+// annotation (e.g. "allocfree").
+func (idx *Index) Annotated(obj types.Object, ann string) bool {
+	if idx == nil || obj == nil {
+		return false
+	}
+	return idx.funcs[obj][ann]
+}
+
+// FuncAnnotations extracts the //coflow:<word> annotations from a
+// function's doc comment.
+func FuncAnnotations(fd *ast.FuncDecl) map[string]bool {
+	if fd.Doc == nil {
+		return nil
+	}
+	var anns map[string]bool
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//coflow:")
+		if !ok {
+			continue
+		}
+		word := strings.TrimSpace(rest)
+		if i := strings.IndexAny(word, " \t"); i >= 0 {
+			word = word[:i]
+		}
+		if word == "" {
+			continue
+		}
+		if anns == nil {
+			anns = map[string]bool{}
+		}
+		anns[word] = true
+	}
+	return anns
+}
+
+// ignoreRe matches the suppression directive: analyzer name (or
+// "all"), then the mandatory free-text reason.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)[ \t]*(.*)$`)
+
+// ignore is one parsed //lint:ignore directive.
+type ignore struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// collectIgnores gathers the suppression directives of a package,
+// keyed by filename and line. A directive suppresses matching
+// diagnostics on its own line and on the line directly below it.
+func collectIgnores(fset *token.FileSet, pkg *Package) map[string]map[int][]ignore {
+	out := map[string]map[int][]ignore{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]ignore{}
+					out[pos.Filename] = byLine
+				}
+				ig := ignore{analyzer: m[1], reason: strings.TrimSpace(m[2]), pos: pos}
+				byLine[pos.Line] = append(byLine[pos.Line], ig)
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the packages, applies the
+// //lint:ignore suppressions, reports reasonless suppressions as
+// diagnostics of the framework itself (analyzer "lint"), and returns
+// the surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer, index *Index) []Diagnostic {
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Pkg:      pkg,
+				Index:    index,
+				diags:    &raw,
+			}
+			a.Run(pass)
+		}
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg.Fset, pkg)
+		for _, byLine := range ignores {
+			for _, igs := range byLine {
+				for _, ig := range igs {
+					if ig.reason == "" {
+						out = append(out, Diagnostic{
+							Pos:      ig.pos,
+							Analyzer: "lint",
+							Message:  "//lint:ignore " + ig.analyzer + " needs a reason",
+						})
+					}
+				}
+			}
+		}
+		for _, d := range raw {
+			if !inPackage(pkg, d.Pos.Filename) {
+				continue
+			}
+			if suppressed(ignores, d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		da, db := out[a], out[b]
+		if da.Pos.Filename != db.Pos.Filename {
+			return da.Pos.Filename < db.Pos.Filename
+		}
+		if da.Pos.Line != db.Pos.Line {
+			return da.Pos.Line < db.Pos.Line
+		}
+		if da.Pos.Column != db.Pos.Column {
+			return da.Pos.Column < db.Pos.Column
+		}
+		return da.Analyzer < db.Analyzer
+	})
+	return out
+}
+
+// suppressed reports whether an ignore directive covers d: same
+// analyzer (or "all"), on d's line or the line above.
+func suppressed(ignores map[string]map[int][]ignore, d Diagnostic) bool {
+	byLine := ignores[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, ig := range byLine[line] {
+			if ig.reason != "" && (ig.analyzer == d.Analyzer || ig.analyzer == "all") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inPackage reports whether filename belongs to pkg (used to
+// re-associate a flat diagnostic list with per-package suppression
+// tables).
+func inPackage(pkg *Package, filename string) bool {
+	for _, f := range pkg.Files {
+		if pkg.Fset.Position(f.Pos()).Filename == filename {
+			return true
+		}
+	}
+	return false
+}

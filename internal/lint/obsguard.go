@@ -1,0 +1,365 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ObsGuard proves the observability layer's "free when off" contract
+// shape-wise:
+//
+//  1. In the metrics kernel (any package named "obs"), every exported
+//     method on a pointer receiver must either begin with a
+//     nil-receiver guard (if r == nil { ... return }) or consist of a
+//     single delegation to another method on the same receiver (whose
+//     guard it inherits, e.g. Counter.Inc -> Counter.Add). A metric
+//     method without its guard panics the instrumented hot path the
+//     first time observability is disabled.
+//
+//  2. Everywhere: a span obtained from a Start() call (any method
+//     returning a type named Span) must reach an End/EndWithTrace/
+//     Done call on every return path of the enclosing function — a
+//     span that escapes a return path silently under-counts its
+//     histogram, which no runtime test notices. A deferred End
+//     covers all paths; a span passed onward (stored, returned,
+//     handed to another function) is assumed managed there.
+var ObsGuard = &Analyzer{
+	Name: "obsguard",
+	Doc:  "nil-receiver guards on obs metric methods; spans must End on all return paths",
+	Run:  runObsGuard,
+}
+
+// spanEnders are the methods that settle a span.
+var spanEnders = map[string]bool{"End": true, "EndWithTrace": true, "Done": true}
+
+func runObsGuard(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.Pkg.Name == "obs" {
+				checkNilGuard(pass, fd)
+			}
+			checkSpans(pass, fd)
+		}
+	}
+}
+
+// checkNilGuard enforces rule 1 on one declaration.
+func checkNilGuard(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || !fd.Name.IsExported() {
+		return
+	}
+	if _, ok := fd.Recv.List[0].Type.(*ast.StarExpr); !ok {
+		return // value receivers carry their own zero-value semantics
+	}
+	recv := receiverName(fd)
+	if recv == "" {
+		pass.Reportf(fd.Name.Pos(), "exported method %s on a pointer metric type has an unnamed receiver and cannot nil-guard it", fd.Name.Name)
+		return
+	}
+	if beginsWithNilGuard(fd, recv) || isTailDelegation(fd, recv) {
+		return
+	}
+	pass.Reportf(fd.Name.Pos(), "exported method %s on a pointer metric type must begin with a nil-receiver guard (if %s == nil { ... })", fd.Name.Name, recv)
+}
+
+func receiverName(fd *ast.FuncDecl) string {
+	names := fd.Recv.List[0].Names
+	if len(names) != 1 || names[0].Name == "_" {
+		return ""
+	}
+	return names[0].Name
+}
+
+// beginsWithNilGuard reports whether the first statement is an if
+// whose condition checks recv == nil (directly or as an operand of a
+// top-level ||) and whose body leaves the function.
+func beginsWithNilGuard(fd *ast.FuncDecl, recv string) bool {
+	if len(fd.Body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok || !condChecksNil(ifStmt.Cond, recv) {
+		return false
+	}
+	n := len(ifStmt.Body.List)
+	return n > 0 && terminates(ifStmt.Body.List[n-1])
+}
+
+// condChecksNil looks for `recv == nil` among the top-level ||
+// operands of cond.
+func condChecksNil(cond ast.Expr, recv string) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			return condChecksNil(e.X, recv) || condChecksNil(e.Y, recv)
+		case token.EQL:
+			return isIdentNamed(e.X, recv) && isNilIdent(e.Y) ||
+				isIdentNamed(e.Y, recv) && isNilIdent(e.X)
+		}
+	}
+	return false
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNilIdent(e ast.Expr) bool { return isIdentNamed(e, "nil") }
+
+// isTailDelegation reports whether the body is a single call (or
+// return of a call) to another method on the same receiver, which
+// carries the guard on the callee's side.
+func isTailDelegation(fd *ast.FuncDecl, recv string) bool {
+	if len(fd.Body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch s := fd.Body.List[0].(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.ReturnStmt:
+		if len(s.Results) == 1 {
+			call, _ = s.Results[0].(*ast.CallExpr)
+		}
+	}
+	if call == nil {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && isIdentNamed(sel.X, recv)
+}
+
+// checkSpans enforces rule 2 on one function declaration.
+func checkSpans(pass *Pass, fd *ast.FuncDecl) {
+	var starts []*ast.AssignStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Start" {
+			return true
+		}
+		if named, ok := deref(pass.TypeOf(call)); !ok || named != "Span" {
+			return true
+		}
+		starts = append(starts, as)
+		return true
+	})
+	for _, as := range starts {
+		checkSpanEnds(pass, fd, as)
+	}
+}
+
+// deref names the (possibly pointer-wrapped) named type of t.
+func deref(t interface{ String() string }) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	s := t.String()
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return s[i+1:], true
+		}
+	}
+	return s, s != ""
+}
+
+// checkSpanEnds verifies that the span assigned in start reaches an
+// ender on every return path of fd.
+func checkSpanEnds(pass *Pass, fd *ast.FuncDecl, start *ast.AssignStmt) {
+	id := start.Lhs[0].(*ast.Ident)
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	name := id.Name
+
+	// Classify every use of the span variable. A use that is neither
+	// the Start assignment, a reassignment, nor the receiver of an
+	// ender means the span escapes our view — assume managed there.
+	deferred := false
+	escaped := false
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	var enderCalls []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		use, ok := n.(*ast.Ident)
+		if !ok || pass.ObjectOf(use) != obj {
+			return true
+		}
+		parent := parents[use]
+		switch p := parent.(type) {
+		case *ast.SelectorExpr:
+			if spanEnders[p.Sel.Name] {
+				if call, ok := parents[p].(*ast.CallExpr); ok && call.Fun == p {
+					enderCalls = append(enderCalls, call)
+					if isDeferred(parents, call) {
+						deferred = true
+					}
+					return true
+				}
+			}
+			escaped = true
+		case *ast.AssignStmt:
+			for _, l := range p.Lhs {
+				if l == ast.Expr(use) {
+					return true // (re)assignment
+				}
+			}
+			escaped = true
+		default:
+			escaped = true
+		}
+		return true
+	})
+	if escaped || deferred {
+		return
+	}
+
+	// Every return path lexically after the Start must pass an ender.
+	exits := collectExits(fd, start)
+	for _, exit := range exits {
+		if !pathHasEnder(fd, start, exit, enderCalls, parents) {
+			pass.Reportf(start.Pos(), "span %s started here does not reach %s.End() on the return path at line %d",
+				name, name, pass.Fset.Position(exit.Pos()).Line)
+		}
+	}
+}
+
+// isDeferred reports whether call is the call of a defer statement.
+func isDeferred(parents map[ast.Node]ast.Node, call *ast.CallExpr) bool {
+	d, ok := parents[call].(*ast.DeferStmt)
+	return ok && d.Call == call
+}
+
+// exitPoint is one way control leaves the function: a return
+// statement, or the closing brace when the body can fall off the end.
+type exitPoint struct {
+	stmt ast.Stmt // nil for the implicit end-of-body exit
+	pos  token.Pos
+}
+
+func (e exitPoint) Pos() token.Pos { return e.pos }
+
+// collectExits gathers the return statements after start, plus the
+// implicit fall-off-the-end exit for bodies that permit it.
+func collectExits(fd *ast.FuncDecl, start *ast.AssignStmt) []exitPoint {
+	var exits []exitPoint
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested function: its returns are not ours
+		}
+		if r, ok := n.(*ast.ReturnStmt); ok && r.Pos() > start.Pos() {
+			exits = append(exits, exitPoint{stmt: r, pos: r.Pos()})
+		}
+		return true
+	})
+	n := len(fd.Body.List)
+	if n == 0 || !terminates(fd.Body.List[n-1]) {
+		exits = append(exits, exitPoint{pos: fd.Body.Rbrace})
+	}
+	return exits
+}
+
+// pathHasEnder walks from the exit back toward the Start assignment
+// through the enclosing statement lists: some statement strictly
+// between them must contain an ender call. Reaching the Start without
+// one means this return path leaks the span.
+func pathHasEnder(fd *ast.FuncDecl, start *ast.AssignStmt, exit exitPoint, enders []*ast.CallExpr, parents map[ast.Node]ast.Node) bool {
+	containsEnder := func(s ast.Stmt) bool {
+		for _, e := range enders {
+			if s.Pos() <= e.Pos() && e.End() <= s.End() {
+				return true
+			}
+		}
+		return false
+	}
+	containsStart := func(s ast.Stmt) bool {
+		return s.Pos() <= start.Pos() && start.End() <= s.End()
+	}
+
+	var path []ast.Node
+	if exit.stmt != nil {
+		path = pathTo(fd.Body, exit.stmt)
+	} else {
+		path = []ast.Node{fd.Body}
+	}
+	// cur walks up the ancestor chain; at each statement list we scan
+	// the statements before cur's slot, newest first.
+	for i := len(path) - 1; i >= 0; i-- {
+		list := stmtList(path[i])
+		if list == nil {
+			continue
+		}
+		// Find the child of this list on the path (or, for the
+		// implicit exit, scan the whole list).
+		cut := len(list)
+		if i+1 < len(path) || exit.stmt != nil {
+			child := exit.stmt
+			if i+1 < len(path) {
+				child = nil
+				if s, ok := path[i+1].(ast.Stmt); ok {
+					child = s
+				}
+			}
+			for k, s := range list {
+				if s == child {
+					cut = k
+					break
+				}
+			}
+		}
+		for k := cut - 1; k >= 0; k-- {
+			s := list[k]
+			if containsEnder(s) {
+				return true
+			}
+			if containsStart(s) {
+				return false // reached Start with no ender in between
+			}
+		}
+	}
+	// The Start is not on the path to this exit (e.g. the return sits
+	// in a sibling branch taken before the span begins).
+	return true
+}
+
+// stmtList extracts the statement list a node owns, if any.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package errflow exercises the errflow analyzer. The `_ =` cases use
+// the runner's offset form want(+2), because a want comment adjacent
+// to the assignment would itself satisfy the justification rule.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+var errBoom = errors.New("boom")
+
+func fails() error { return errBoom }
+
+func multi() (int, error) { return 0, errBoom }
+
+func discards() {
+	fails() // want "silently discarded"
+}
+
+func deferredDiscard() {
+	defer fails() // want "silently discarded"
+}
+
+func spawnedDiscard() {
+	go fails() // want "silently discarded"
+}
+
+func blanked() {
+	// want(+2) "justification comment"
+
+	_ = fails()
+}
+
+func tupleBlank() (n int) {
+	// want(+2) "justification comment"
+
+	n, _ = multi()
+	return n
+}
+
+func justified() {
+	// Best effort: the caller cannot act on this failure.
+	_ = fails()
+}
+
+func trailingJustified() {
+	_ = fails() // best effort: nothing to do about it here
+}
+
+func handled() error {
+	if err := fails(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// allowlisted exercises the documented infallible-writer contracts.
+func allowlisted(sb *strings.Builder) {
+	fmt.Println("to stdout")
+	fmt.Fprintf(os.Stderr, "to stderr\n")
+	sb.WriteString("builder writes never fail")
+	fmt.Fprintf(sb, "nor via fmt %d\n", 1)
+}
+
+func reasonless() {
+	// want(+1) "needs a reason"
+	//lint:ignore errflow
+	_ = fails()
+}

@@ -1,0 +1,49 @@
+// Package guardedby exercises the guardedby analyzer: mutex-guarded
+// fields need the lock, serialization-domain fields need
+// //coflow:singlewriter.
+package guardedby
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	n    int   // guarded by mu
+	evts []int // guarded by eventloop
+}
+
+// locked takes the mutex before touching n: clean.
+func (s *store) locked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// unlocked reads n with no lock and no annotation.
+func (s *store) unlocked() int {
+	return s.n // want "does not hold"
+}
+
+// owner runs on the owning goroutine: both fields are fair game.
+//
+//coflow:singlewriter
+func (s *store) owner() {
+	s.n++
+	s.evts = append(s.evts, 1)
+}
+
+// outsider touches the eventloop domain without the annotation.
+func (s *store) outsider() {
+	s.evts = nil // want "serialization domain"
+}
+
+type rwstore struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+// read holds the read lock: RLock satisfies the guard too.
+func (r *rwstore) read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}

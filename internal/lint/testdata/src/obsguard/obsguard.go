@@ -1,0 +1,119 @@
+// Package obs exercises the obsguard analyzer. The nil-receiver rule
+// only applies in packages named "obs", so the fixture package takes
+// that name; the span rule triggers on any Start method returning a
+// type named Span.
+package obs
+
+import (
+	"errors"
+	"time"
+)
+
+var errNope = errors.New("nope")
+
+// Counter mimics a metric type: exported pointer-receiver methods
+// must begin with a nil-receiver guard.
+type Counter struct{ v int64 }
+
+// Good begins with the guard.
+func (c *Counter) Good() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Inc is a tail delegation; the callee carries the guard.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add begins with the guard.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Bad touches the receiver with no guard.
+func (c *Counter) Bad() { // want "must begin with a nil-receiver guard"
+	c.v++
+}
+
+// unexported methods are internal plumbing and exempt.
+func (c *Counter) unexported() { c.v++ }
+
+// Value has a value receiver: the zero value is its own guard.
+func (c Counter) Value() int64 { return c.v }
+
+// Histogram provides Start so spans exist in this package.
+type Histogram struct{ sum float64 }
+
+// Observe begins with the guard.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.sum += v
+}
+
+// Span is the stage timer; End settles it.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Start begins with the guard and hands out a span.
+func (h *Histogram) Start() Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, start: time.Now()}
+}
+
+// End has a value receiver (pointer-receiver rule does not apply).
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(time.Since(s.start).Seconds())
+}
+
+// allEnds settles the span on both return paths: clean.
+func allEnds(h *Histogram, fail bool) error {
+	sp := h.Start()
+	if fail {
+		sp.End()
+		return errNope
+	}
+	sp.End()
+	return nil
+}
+
+// leaks forgets the span on the early-error path.
+func leaks(h *Histogram, fail bool) error {
+	sp := h.Start() // want "does not reach"
+	if fail {
+		return errNope
+	}
+	sp.End()
+	return nil
+}
+
+// deferred covers every path with one defer: clean.
+func deferred(h *Histogram, fail bool) error {
+	sp := h.Start()
+	defer sp.End()
+	if fail {
+		return errNope
+	}
+	return nil
+}
+
+// passesOn hands the span to another function, which is assumed to
+// manage it: clean.
+func passesOn(h *Histogram) {
+	sp := h.Start()
+	keep(sp)
+}
+
+func keep(Span) {}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the named function or method a call invokes,
+// or nil for calls through function values, builtins, and
+// conversions.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	// Unwrap explicit generic instantiation.
+	switch f := fun.(type) {
+	case *ast.IndexExpr:
+		fun = f.X
+	case *ast.IndexListExpr:
+		fun = f.X
+	}
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// rootIdent strips selectors, indexes, slices and parens down to the
+// leftmost identifier of an expression, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders ident/selector chains ("d.obs.reg") textually;
+// anything more complex yields "".
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	default:
+		return ""
+	}
+}
+
+// isErrType reports whether t is the predeclared error type.
+func isErrType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// pathTo returns the node path from root down to target (inclusive),
+// or nil if target is not beneath root.
+func pathTo(root, target ast.Node) []ast.Node {
+	var stack, result []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			if result == nil {
+				stack = stack[:len(stack)-1]
+			}
+			return true
+		}
+		if result != nil {
+			return false
+		}
+		stack = append(stack, n)
+		if n == target {
+			result = append([]ast.Node(nil), stack...)
+			return false
+		}
+		return true
+	})
+	return result
+}
+
+// terminates reports whether a statement definitely transfers
+// control out (a return, or a panic call) — a cheap approximation of
+// go/types' terminating-statement analysis, used to decide whether a
+// function body can fall off its closing brace.
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.ForStmt:
+		return s.Cond == nil // for {} without break is endless enough here
+	case *ast.BlockStmt:
+		if n := len(s.List); n > 0 {
+			return terminates(s.List[n-1])
+		}
+	}
+	return false
+}

@@ -189,6 +189,8 @@ func (mt *Matcher) PerfectOnSupport(d *matrix.Matrix) (matrix.Permutation, error
 
 // augmentToMax runs Hopcroft–Karp phases over the CSR adjacency from
 // the current (partial) matching until no augmenting path remains.
+//
+//coflow:allocfree
 func (mt *Matcher) augmentToMax() {
 	phases := int64(0)
 	for mt.bfs() {
@@ -207,7 +209,10 @@ func (mt *Matcher) augmentToMax() {
 }
 
 // bfs builds the layered graph from free left vertices; it reports
-// whether any augmenting path exists.
+// whether any augmenting path exists. The queue buffer is pre-sized at
+// construction (≤ n vertices enter), so append never grows it.
+//
+//coflow:allocfree
 func (mt *Matcher) bfs() bool {
 	mt.queue = mt.queue[:0]
 	for u := 0; u < mt.n; u++ {
@@ -235,6 +240,8 @@ func (mt *Matcher) bfs() bool {
 }
 
 // dfs walks the layered graph looking for an augmenting path from u.
+//
+//coflow:allocfree
 func (mt *Matcher) dfs(u int) bool {
 	for _, v32 := range mt.adjDat[mt.adjOff[u]:mt.adjOff[u+1]] {
 		v := int(v32)

@@ -157,7 +157,7 @@ func TestMatcherAgreesWithColdHopcroftKarp(t *testing.T) {
 // for.
 func FuzzMatcherWarmStart(f *testing.F) {
 	f.Add([]byte{0, 0, 1})
-	f.Add([]byte{0, 0, 1, 0, 0, 0})                  // add then delete
+	f.Add([]byte{0, 0, 1, 0, 0, 0})                   // add then delete
 	f.Add([]byte{0, 1, 2, 1, 0, 2, 0, 0, 1, 1, 1, 1}) // crossing pairs
 	f.Add([]byte{3, 3, 3, 2, 2, 1, 1, 1, 2, 0, 0, 3, 3, 3, 0})
 	f.Fuzz(func(t *testing.T, steps []byte) {

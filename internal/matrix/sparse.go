@@ -122,6 +122,7 @@ func (s *Sparse) index() {
 	s.load = s.maxSum()
 }
 
+//coflow:allocfree
 func (s *Sparse) maxSum() int64 {
 	var b int64
 	for _, v := range s.rowSum {
@@ -139,24 +140,33 @@ func (s *Sparse) maxSum() int64 {
 
 // Len returns the number of cells (fixed at construction; cells drained
 // to zero still count).
+//
+//coflow:allocfree
 func (s *Sparse) Len() int { return len(s.ent) }
 
 // Entry returns cell e: its ports and current value.
+//
+//coflow:allocfree
 func (s *Sparse) Entry(e int) (row, col int, val int64) {
 	it := &s.ent[e]
 	return it.Row, it.Col, it.Val
 }
 
 // Val returns the current value of cell e.
+//
+//coflow:allocfree
 func (s *Sparse) Val(e int) int64 { return s.ent[e].Val }
 
 // Dec drains d units from cell e, updating the row sum, column sum and
 // total in O(1) and deferring the ρ update until the next Load call
 // (and only when the decrement could have lowered it). It panics if
 // the cell would go negative.
+//
+//coflow:allocfree
 func (s *Sparse) Dec(e int, d int64) {
 	it := &s.ent[e]
 	if d < 0 || it.Val < d {
+		//lint:ignore allocfree the panic message formats once on a fatal invariant violation, never on the served path
 		panic(fmt.Sprintf("matrix: Dec(%d, %d) on cell (%d,%d) holding %d", e, d, it.Row, it.Col, it.Val))
 	}
 	if d == 0 {
@@ -175,6 +185,8 @@ func (s *Sparse) Dec(e int, d int64) {
 // Load returns ρ: the maximum row or column sum. Cached between
 // mutations; recomputed over the compact sums only when a decrement
 // touched a maximal row or column.
+//
+//coflow:allocfree
 func (s *Sparse) Load() int64 {
 	if s.loadDirty {
 		s.load = s.maxSum()
@@ -184,6 +196,8 @@ func (s *Sparse) Load() int64 {
 }
 
 // Total returns the sum of all cells.
+//
+//coflow:allocfree
 func (s *Sparse) Total() int64 { return s.total }
 
 // RowPorts returns the distinct ingress ports, ascending. Shared;
@@ -196,6 +210,8 @@ func (s *Sparse) ColPorts() []int { return s.colID }
 
 // RowRange returns the half-open entry range [lo, hi) of compact row r
 // (entries are grouped by row, ascending column within the row).
+//
+//coflow:allocfree
 func (s *Sparse) RowRange(r int) (lo, hi int) {
 	return int(s.rowOff[r]), int(s.rowOff[r+1])
 }

@@ -44,9 +44,9 @@ import (
 // are no-ops.
 type Registry struct {
 	mu      sync.Mutex
-	metrics []metric // in registration order
-	names   map[string]bool
-	trace   *Trace
+	metrics []metric        // in registration order; guarded by mu
+	names   map[string]bool // guarded by mu
+	trace   *Trace          // guarded by mu
 }
 
 // metric is the renderer-facing face of every metric kind.
@@ -177,10 +177,14 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//coflow:allocfree
 func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds n (n must be non-negative; negative deltas are ignored so
 // a counter can never decrease).
+//
+//coflow:allocfree
 func (c *Counter) Add(n int64) {
 	if c == nil || n < 0 {
 		return
@@ -208,6 +212,8 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//coflow:allocfree
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -216,6 +222,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add adds delta with a CAS loop.
+//
+//coflow:allocfree
 func (g *Gauge) Add(delta float64) {
 	if g == nil {
 		return
@@ -254,6 +262,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//coflow:allocfree
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return

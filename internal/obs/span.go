@@ -21,6 +21,8 @@ type Span struct {
 
 // Start begins a span against h. On a nil histogram it returns the
 // zero Span without reading the clock.
+//
+//coflow:allocfree
 func (h *Histogram) Start() Span {
 	if h == nil {
 		return Span{}
@@ -29,6 +31,8 @@ func (h *Histogram) Start() Span {
 }
 
 // End records the elapsed time since Start. The zero Span is a no-op.
+//
+//coflow:allocfree
 func (s Span) End() {
 	if s.h == nil {
 		return
@@ -39,6 +43,8 @@ func (s Span) End() {
 // EndWithTrace records the elapsed time and, when t is non-nil, also
 // appends a trace event carrying the stage name, the caller's slot
 // (or any correlation id) and the elapsed seconds.
+//
+//coflow:allocfree
 func (s Span) EndWithTrace(t *Trace, stage string, slot int64) {
 	if s.h == nil {
 		return

@@ -159,6 +159,8 @@ func simulate(ins *coflowmodel.Instance, stepFn func(*State, int64) StepResult) 
 
 // fifoCmp orders by (release, key): arrival order with a deterministic
 // tie-break.
+//
+//coflow:allocfree
 func fifoCmp(a, b *cfState) int {
 	if a.release != b.release {
 		if a.release < b.release {
@@ -171,6 +173,8 @@ func fifoCmp(a, b *cfState) int {
 
 // prioCmp orders by the precomputed priority key, breaking ties on the
 // unique coflow key so every policy order is a strict total order.
+//
+//coflow:allocfree
 func prioCmp(a, b *cfState) int {
 	if a.prio != b.prio {
 		if a.prio < b.prio {
@@ -192,6 +196,8 @@ func prioCmp(a, b *cfState) int {
 // The return reports whether the list was ALREADY in order — i.e. no
 // element moved — which is what the warm-start replay in Step needs to
 // know (an unchanged visit order).
+//
+//coflow:allocfree
 func (s *State) prioritizeList(policy Policy) bool {
 	list := s.list
 	switch policy {

@@ -238,6 +238,8 @@ func (s *State) NextRelease(t int64) int64 {
 // overhead. That is the price of an incremental API whose per-slot
 // work is near-linear in the live demand; the paper's offline
 // constant-factor guarantees do not transfer to this scheduler.
+//
+//coflow:allocfree
 func (s *State) Step(slot int64, policy Policy) StepResult {
 	stepSpan := s.obs.StepSeconds.Start()
 	s.obs.Steps.Inc()
@@ -267,6 +269,8 @@ func (s *State) Step(slot int64, policy Policy) StepResult {
 // replay re-serves the previous slot's matching: one decrement per
 // served pair, no scan. Preconditions (checked by Step) guarantee the
 // full scan would produce exactly this result.
+//
+//coflow:allocfree
 func (s *State) replay(slot int64) StepResult {
 	span := s.obs.ReplaySeconds.Start()
 	for _, loc := range s.servedAt {
@@ -286,7 +290,10 @@ func (s *State) replay(slot int64) StepResult {
 
 // step is the shared slot core: reorder (when non-nil) fixes the
 // priority order of the active set, then the greedy matching is built
-// in that order.
+// in that order. Every append lands in receiver-owned scratch that
+// reaches steady-state capacity after the first few slots.
+//
+//coflow:allocfree
 func (s *State) step(slot int64, reorder func([]*cfState)) StepResult {
 	res := StepResult{Slot: slot}
 	s.active = s.active[:0]
@@ -366,6 +373,8 @@ func (s *State) step(slot int64, reorder func([]*cfState)) StepResult {
 }
 
 // drop removes st from the live list and index.
+//
+//coflow:allocfree
 func (s *State) drop(st *cfState) {
 	s.canReplay = false
 	delete(s.index, st.key)

@@ -239,6 +239,7 @@ func Execute(plan *Plan) (*Result, error) {
 		return nil, err
 	}
 	execSpan := pkgObs.ExecuteSeconds.Start()
+	defer execSpan.End()
 	var t int64
 	matchings := 0
 	for _, st := range plan.Stages {
@@ -256,6 +257,7 @@ func Execute(plan *Plan) (*Result, error) {
 		stageSpan := pkgObs.StageSeconds.Start()
 		dec, err := bvn.DecomposeWith(d, e.plan.Strategy)
 		if err != nil {
+			stageSpan.End()
 			return nil, err
 		}
 		for _, term := range dec.Terms {
@@ -272,7 +274,6 @@ func Execute(plan *Plan) (*Result, error) {
 	}
 	pkgObs.Executes.Inc()
 	pkgObs.Matchings.Add(int64(matchings))
-	execSpan.End()
 	return e.finish(t, matchings)
 }
 
@@ -286,6 +287,7 @@ func ExecuteSlotAccurate(plan *Plan) (*Result, error) {
 		return nil, err
 	}
 	execSpan := pkgObs.ExecuteSeconds.Start()
+	defer execSpan.End()
 	var t int64
 	matchings := 0
 	for _, st := range plan.Stages {
@@ -321,7 +323,6 @@ func ExecuteSlotAccurate(plan *Plan) (*Result, error) {
 	}
 	pkgObs.Executes.Inc()
 	pkgObs.Matchings.Add(int64(matchings))
-	execSpan.End()
 	return e.finish(t, matchings)
 }
 
