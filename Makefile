@@ -1,7 +1,7 @@
 # Standard developer entry points. Everything is stdlib-only Go; no
 # tools beyond the toolchain are required.
 
-.PHONY: build test check lint escapecheck escapebaseline slowcheck bench bench-baseline bench-all
+.PHONY: build test check lint escapecheck escapebaseline slowcheck loadtest bench bench-baseline bench-all
 
 build:
 	go build ./...
@@ -15,9 +15,9 @@ test:
 # diagnostics, so they run before vet, the race suites, the
 # differential-oracle sweep (slowcheck) and the Step perf regression
 # gate (bench).
-check: lint escapecheck slowcheck bench
+check: lint escapecheck slowcheck loadtest bench
 	go vet -unsafeptr ./...
-	go test -race ./internal/matrix/... ./internal/matching/... ./internal/obs/... ./internal/online/... ./internal/switchsim/... ./internal/daemon/...
+	go test -race ./internal/matrix/... ./internal/matching/... ./internal/obs/... ./internal/online/... ./internal/switchsim/... ./internal/daemon/... ./internal/shard/...
 
 # Project-specific static analysis (internal/lint run by
 # cmd/coflowvet): allocation-freedom of //coflow:allocfree functions,
@@ -46,6 +46,13 @@ escapebaseline:
 slowcheck:
 	go test -tags=slowcheck ./internal/check/
 	go test -run='^$$' -fuzz=FuzzStepVsReference -fuzztime=30s ./internal/check/
+
+# Bounded end-to-end load smoke: coflowload drives an in-process
+# 4-fabric coflowd over loopback HTTP for a few seconds and FAILS on
+# any 5xx or on zero ingest throughput. The human-readable report
+# (p50/p99 ingest latency, per-fabric tick latency) prints either way.
+loadtest:
+	go run ./cmd/coflowload -selftest -shards 4 -duration 3s -c 8 -bulk 16
 
 # Tracked perf benchmarks, compare-only: runs the per-slot pipeline
 # (Step) and BvN decomposition benches 3×, joins the per-benchmark

@@ -1,16 +1,28 @@
-// Command coflowd runs the resident coflow scheduling daemon: a
-// virtual m×m switch advanced slot-by-slot on a wall-clock tick, with
-// an HTTP/JSON control plane for registering, inspecting and
-// cancelling coflows and for reading live scheduler metrics.
+// Command coflowd runs the resident coflow scheduling daemon: one or
+// more virtual m×m switch fabrics advanced slot-by-slot on wall-clock
+// ticks, behind an HTTP/JSON control plane for registering (single or
+// bulk), inspecting and cancelling coflows and for reading live
+// scheduler metrics.
 //
 // Usage:
 //
 //	coflowd [-addr :8080] [-ports 50] [-policy SEBF] [-tick 10ms]
-//	        [-deadline 0] [-max-body 1048576] [-window 1024]
-//	        [-snapshot state.json] [-pprof localhost:6060]
-//	        [-selfcheck] [-selfcheck-every 8]
+//	        [-shards 1] [-fabric 50,50,100] [-deadline 0]
+//	        [-max-body 1048576] [-window 1024] [-snapshot state.json]
+//	        [-pprof localhost:6060] [-selfcheck] [-selfcheck-every 8]
 //
-// -selfcheck runs an independent invariant monitor inside the tick
+// -shards N runs N independent switch fabrics (each its own
+// single-writer scheduling loop, metrics registry and self-check
+// monitor) behind one control plane. Registrations are placed by
+// consistent hash of the coflow ID, or pinned with the registration's
+// "fabric" field. /metrics labels per-fabric series with fabric="i"
+// and adds cluster-level rollups.
+//
+// -fabric lists per-fabric port counts for a heterogeneous cluster,
+// e.g. -fabric 50,50,100 runs two 50-port fabrics and one 100-port
+// fabric; it overrides both -shards and -ports.
+//
+// -selfcheck runs an independent invariant monitor inside each tick
 // loop (internal/check): every slot's demand bookkeeping is shadowed,
 // and sampled slots are validated against the feasibility invariants
 // (matching, release dates, demand conservation). Violations are
@@ -22,8 +34,9 @@
 // on the control plane.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
-// requests drain, the scheduler loop stops, and (with -snapshot) the
-// final state is written as JSON.
+// requests drain, every fabric's scheduler loop stops, and (with
+// -snapshot) each fabric's final state is written as JSON (suffixed
+// .fabricN when sharded).
 //
 // See the README's "Running coflowd" section for curl examples.
 package main
@@ -37,11 +50,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"coflow/internal/daemon"
 	"coflow/internal/online"
+	"coflow/internal/shard"
 )
 
 func main() {
@@ -52,11 +68,13 @@ func main() {
 	ports := flag.Int("ports", 50, "switch size m (ingress and egress ports)")
 	policyName := flag.String("policy", "SEBF", "scheduling priority: FIFO, SEBF, or WSPT")
 	tick := flag.Duration("tick", 10*time.Millisecond, "real-time duration of one scheduling slot")
+	shards := flag.Int("shards", 1, "independent switch fabrics behind this control plane")
+	fabricSpec := flag.String("fabric", "", "comma-separated per-fabric port counts, e.g. 50,50,100 (overrides -shards and -ports)")
 	deadline := flag.Duration("deadline", 0, "per-tick scheduling budget; a slower tick degrades the policy to FIFO (0 disables)")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum request body size in bytes")
 	window := flag.Int("window", 1024, "rolling window size for latency and slowdown summaries")
-	snapshot := flag.String("snapshot", "", "write the final state snapshot to this file on shutdown")
-	selfCheck := flag.Bool("selfcheck", false, "run the invariant monitor in the tick loop (violations surface in /v1/metrics)")
+	snapshot := flag.String("snapshot", "", "write the final state snapshot(s) to this file on shutdown")
+	selfCheck := flag.Bool("selfcheck", false, "run the invariant monitor in each tick loop (violations surface in /v1/metrics)")
 	selfCheckEvery := flag.Int("selfcheck-every", 8, "with -selfcheck, validate every k-th tick (1 = every tick)")
 	drain := flag.Duration("drain", 5*time.Second, "maximum time to wait for in-flight requests on shutdown")
 	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof debug endpoints, e.g. localhost:6060 (disabled when empty)")
@@ -77,17 +95,30 @@ func main() {
 		log.Fatal("-tick must be positive (the daemon's clock is the ticker)")
 	}
 
-	d, err := daemon.New(daemon.Config{
-		Ports:          *ports,
-		Policy:         policy,
-		Tick:           *tick,
-		Deadline:       *deadline,
-		MaxBody:        *maxBody,
-		Window:         *window,
-		SnapshotPath:   *snapshot,
-		SelfCheck:      *selfCheck,
-		SelfCheckEvery: *selfCheckEvery,
-	})
+	cfg := shard.Config{
+		Shards: *shards,
+		Fabric: daemon.Config{
+			Ports:          *ports,
+			Policy:         policy,
+			Tick:           *tick,
+			Deadline:       *deadline,
+			MaxBody:        *maxBody,
+			Window:         *window,
+			SnapshotPath:   *snapshot,
+			SelfCheck:      *selfCheck,
+			SelfCheckEvery: *selfCheckEvery,
+		},
+	}
+	if *fabricSpec != "" {
+		perFabric, err := parseFabricSpec(*fabricSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Shards = len(perFabric)
+		cfg.Ports = perFabric
+	}
+
+	c, err := shard.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -109,11 +140,14 @@ func main() {
 		}()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: d.Handler()}
+	srv := &http.Server{Addr: *addr, Handler: c.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving on %s: m=%d policy=%s tick=%s deadline=%s",
-		*addr, *ports, policy, *tick, *deadline)
+	log.Printf("serving on %s: fabrics=%d policy=%s tick=%s deadline=%s",
+		*addr, c.Shards(), policy, *tick, *deadline)
+	for i := 0; i < c.Shards(); i++ {
+		log.Printf("  fabric %d: m=%d", i, c.Fabric(i).Ports())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -125,22 +159,45 @@ func main() {
 	}
 
 	// Graceful shutdown: drain HTTP first so no handler races the
-	// closing scheduler loop, then stop the daemon (which writes the
+	// closing scheduler loops, then stop every fabric (each writes its
 	// final snapshot).
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("http shutdown: %v", err)
 	}
-	if err := d.Close(); err != nil {
+	if err := c.Close(); err != nil {
 		log.Printf("close: %v", err)
 	}
 	if *snapshot != "" {
-		if _, err := os.Stat(*snapshot); err == nil {
-			log.Printf("final state written to %s", *snapshot)
+		if c.Shards() == 1 {
+			if _, err := os.Stat(*snapshot); err == nil {
+				log.Printf("final state written to %s", *snapshot)
+			}
+		} else {
+			log.Printf("final state written to %s.fabric0..%s.fabric%d", *snapshot, *snapshot, c.Shards()-1)
 		}
 	}
-	snap := d.Snapshot()
-	log.Printf("stopped at slot %d: %d registered, %d completed, %d cancelled",
-		snap.Slot, snap.Metrics.Registered, snap.Metrics.Completed, snap.Metrics.Cancelled)
+	m := c.Metrics()
+	log.Printf("stopped: %d registered, %d completed, %d cancelled across %d fabrics",
+		m.Registered, m.Completed, m.Cancelled, m.Fabrics)
+	for _, s := range m.PerShard {
+		log.Printf("  fabric %d: slot %d, %d registered, %d completed",
+			s.Fabric, s.Slot, s.Metrics.Registered, s.Metrics.Completed)
+	}
+}
+
+// parseFabricSpec parses "-fabric 50,50,100" into per-fabric port
+// counts.
+func parseFabricSpec(spec string) ([]int, error) {
+	parts := strings.Split(spec, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, errors.New("-fabric wants comma-separated positive port counts, e.g. 50,50,100")
+		}
+		out[i] = n
+	}
+	return out, nil
 }

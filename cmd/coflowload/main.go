@@ -1,0 +1,466 @@
+// Command coflowload is a closed-loop load generator for the coflowd
+// control plane: N workers issue a configurable mix of register / get
+// / cancel requests (optionally batched through the bulk array body)
+// at a target arrival rate, and the run ends with client-side ingest
+// latency percentiles plus the server's per-shard tick latency pulled
+// from GET /v1/metrics.
+//
+// Usage:
+//
+//	coflowload [-addr http://localhost:8080] [-c 8] [-rate 0]
+//	           [-duration 10s] [-mix 90/5/5] [-bulk 1] [-ports 50]
+//	           [-flows 4] [-maxsize 1000] [-pin -1] [-json]
+//	           [-selftest] [-shards 4]
+//
+// -rate is the total target request rate across all workers
+// (requests/second; 0 means unthrottled). -mix is the
+// register/get/cancel split in percent. -bulk B packs B registrations
+// into each register request (the array body). -pin K pins every
+// registration to fabric K instead of consistent-hash placement.
+//
+// -selftest ignores -addr, starts an in-process sharded coflowd
+// (-shards fabrics), drives it for -duration, and exits nonzero if
+// any request got a 5xx or the run registered nothing — a bounded
+// end-to-end smoke usable from make.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coflow/internal/coflowmodel"
+	"coflow/internal/daemon"
+	"coflow/internal/obs"
+	"coflow/internal/online"
+	"coflow/internal/shard"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coflowload: ")
+
+	addr := flag.String("addr", "http://localhost:8080", "base URL of the coflowd control plane")
+	workers := flag.Int("c", 8, "concurrent workers")
+	rate := flag.Float64("rate", 0, "total target request rate per second (0 = unthrottled)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
+	mix := flag.String("mix", "90/5/5", "register/get/cancel percentages")
+	bulk := flag.Int("bulk", 1, "registrations per register request (>1 uses the bulk array body)")
+	ports := flag.Int("ports", 50, "port range for generated flows (must not exceed the server's -ports)")
+	flows := flag.Int("flows", 4, "flows per generated registration")
+	maxSize := flag.Int64("maxsize", 1000, "maximum generated flow size")
+	pin := flag.Int("pin", -1, "pin every registration to this fabric (-1 = consistent-hash placement)")
+	jsonOut := flag.Bool("json", false, "print the final report as JSON")
+	selftest := flag.Bool("selftest", false, "drive an in-process sharded coflowd and exit nonzero on 5xx or zero throughput")
+	shards := flag.Int("shards", 4, "fabrics for the -selftest in-process daemon")
+	tick := flag.Duration("tick", 10*time.Millisecond, "slot duration for the -selftest in-process daemon")
+	flag.Parse()
+
+	// The cancel share is the remainder after register and get.
+	mixReg, mixGet, _, err := parseMix(*mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *workers <= 0 || *bulk <= 0 || *flows < 0 {
+		log.Fatal("-c and -bulk must be positive, -flows non-negative")
+	}
+
+	base := strings.TrimRight(*addr, "/")
+	var cleanup func()
+	if *selftest {
+		base, cleanup = startInProcess(*shards, *ports, *tick)
+	}
+
+	g := &generator{
+		base:    base,
+		ports:   *ports,
+		flows:   *flows,
+		maxSize: *maxSize,
+		bulk:    *bulk,
+		pin:     *pin,
+		mixReg:  mixReg,
+		mixGet:  mixGet + mixReg,
+		client: &http.Client{
+			Timeout:   10 * time.Second,
+			Transport: &http.Transport{MaxIdleConnsPerHost: *workers},
+		},
+	}
+	reg := obs.NewRegistry()
+	g.ingest = reg.Histogram("load_ingest_seconds", "client-side register latency", obs.LatencyBuckets)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g.worker(w, start, *duration, *rate)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := g.report(elapsed)
+	rep.Shards = scrapePerShard(g.client, base, rep)
+	if cleanup != nil {
+		cleanup()
+	}
+	printReport(rep, *jsonOut)
+
+	if *selftest && (rep.Errors5xx > 0 || rep.Registered == 0) {
+		log.Fatalf("selftest failed: %d server errors, %d registered", rep.Errors5xx, rep.Registered)
+	}
+}
+
+// parseMix parses "90/5/5" into register/get/cancel percentages.
+func parseMix(s string) (reg, get, cancel int, err error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("-mix wants reg/get/cancel percentages, got %q", s)
+	}
+	vals := make([]int, 3)
+	sum := 0
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return 0, 0, 0, fmt.Errorf("-mix wants non-negative percentages, got %q", s)
+		}
+		vals[i] = v
+		sum += v
+	}
+	if sum != 100 {
+		return 0, 0, 0, fmt.Errorf("-mix percentages sum to %d, want 100", sum)
+	}
+	return vals[0], vals[1], vals[2], nil
+}
+
+type generator struct {
+	base    string
+	ports   int
+	flows   int
+	maxSize int64
+	bulk    int
+	pin     int
+	mixReg  int // ops with seq%100 < mixReg register
+	mixGet  int // ... < mixGet get; the rest cancel
+	client  *http.Client
+	ingest  *obs.Histogram
+
+	seq        atomic.Int64 // global op sequence: pacing + mix selection
+	registered atomic.Int64 // accepted registrations (bulk counts items)
+	gets       atomic.Int64
+	cancels    atomic.Int64
+	conflicts  atomic.Int64 // 409s: cancel raced completion, expected churn
+	errors4xx  atomic.Int64
+	errors5xx  atomic.Int64
+	netErrors  atomic.Int64
+}
+
+// worker runs the closed loop: claim the next global op, pace it
+// against the shared virtual schedule, issue it, record.
+func (g *generator) worker(id int, start time.Time, duration time.Duration, rate float64) {
+	rng := rand.New(rand.NewSource(int64(id)*7919 + 1))
+	var ids []int // this worker's created coflows, fodder for get/cancel
+	for {
+		n := g.seq.Add(1) - 1
+		if rate > 0 {
+			due := start.Add(time.Duration(float64(n) / rate * float64(time.Second)))
+			time.Sleep(time.Until(due))
+		}
+		if time.Since(start) >= duration {
+			return
+		}
+		switch m := int(n % 100); {
+		case m < g.mixReg || len(ids) == 0:
+			if created := g.register(rng); len(created) > 0 {
+				ids = append(ids, created...)
+				if len(ids) > 4096 {
+					ids = ids[len(ids)-2048:]
+				}
+			}
+		case m < g.mixGet:
+			g.get(ids[rng.Intn(len(ids))])
+		default:
+			last := len(ids) - 1
+			g.cancel(ids[last])
+			ids = ids[:last]
+		}
+	}
+}
+
+func (g *generator) newRegistration(rng *rand.Rand) *coflowmodel.Registration {
+	r := &coflowmodel.Registration{Weight: 1 + rng.Float64()}
+	if g.pin >= 0 {
+		pin := g.pin
+		r.Fabric = &pin
+	}
+	for f := 0; f < g.flows; f++ {
+		r.Flows = append(r.Flows, coflowmodel.Flow{
+			Src:  rng.Intn(g.ports),
+			Dst:  rng.Intn(g.ports),
+			Size: 1 + rng.Int63n(g.maxSize),
+		})
+	}
+	return r
+}
+
+// register POSTs one registration (or a bulk array) and returns the
+// accepted coflow IDs.
+func (g *generator) register(rng *rand.Rand) []int {
+	var payload any
+	if g.bulk > 1 {
+		batch := make([]*coflowmodel.Registration, g.bulk)
+		for i := range batch {
+			batch[i] = g.newRegistration(rng)
+		}
+		payload = batch
+	} else {
+		payload = g.newRegistration(rng)
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		g.netErrors.Add(1)
+		return nil
+	}
+	span := g.ingest.Start()
+	resp, err := g.client.Post(g.base+"/v1/coflows", "application/json", bytes.NewReader(body))
+	span.End()
+	if err != nil {
+		g.netErrors.Add(1)
+		return nil
+	}
+	raw, err := io.ReadAll(resp.Body)
+	closeQuiet(resp.Body)
+	if err != nil {
+		g.netErrors.Add(1)
+		return nil
+	}
+	if !g.countStatus(resp.StatusCode) {
+		return nil
+	}
+	var ids []int
+	if g.bulk > 1 {
+		var br daemon.BulkResponse
+		if err := json.Unmarshal(raw, &br); err != nil {
+			g.netErrors.Add(1)
+			return nil
+		}
+		for _, item := range br.Results {
+			if item.ID > 0 {
+				ids = append(ids, item.ID)
+			}
+		}
+	} else {
+		var one struct {
+			ID int `json:"id"`
+		}
+		if err := json.Unmarshal(raw, &one); err != nil || one.ID == 0 {
+			g.netErrors.Add(1)
+			return nil
+		}
+		ids = []int{one.ID}
+	}
+	g.registered.Add(int64(len(ids)))
+	return ids
+}
+
+func (g *generator) get(id int) {
+	resp, err := g.client.Get(g.base + "/v1/coflows/" + strconv.Itoa(id))
+	if err != nil {
+		g.netErrors.Add(1)
+		return
+	}
+	drainQuiet(resp.Body)
+	if g.countStatus(resp.StatusCode) {
+		g.gets.Add(1)
+	}
+}
+
+func (g *generator) cancel(id int) {
+	req, err := http.NewRequest(http.MethodDelete, g.base+"/v1/coflows/"+strconv.Itoa(id), nil)
+	if err != nil {
+		g.netErrors.Add(1)
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		g.netErrors.Add(1)
+		return
+	}
+	drainQuiet(resp.Body)
+	if g.countStatus(resp.StatusCode) {
+		g.cancels.Add(1)
+	}
+}
+
+// countStatus buckets a response status and reports whether it was a
+// success.
+func (g *generator) countStatus(code int) bool {
+	switch {
+	case code < 300:
+		return true
+	case code == http.StatusConflict:
+		g.conflicts.Add(1)
+	case code < 500:
+		g.errors4xx.Add(1)
+	default:
+		g.errors5xx.Add(1)
+	}
+	return false
+}
+
+// closeQuiet and drainQuiet discard connection-reuse housekeeping
+// errors: the response status was already counted, and a failed drain
+// just costs a keep-alive connection.
+func closeQuiet(rc io.ReadCloser) {
+	// Justified discard: see above.
+	_ = rc.Close()
+}
+
+func drainQuiet(rc io.ReadCloser) {
+	// Justified discard: see above.
+	_, _ = io.Copy(io.Discard, rc)
+	closeQuiet(rc)
+}
+
+// shardTick is one fabric's server-side tick latency summary.
+type shardTick struct {
+	Fabric  int     `json:"fabric"`
+	Slot    int64   `json:"slot"`
+	TickP50 float64 `json:"tick_p50_seconds"`
+	TickP99 float64 `json:"tick_p99_seconds"`
+	TickMax float64 `json:"tick_max_seconds"`
+}
+
+type report struct {
+	Duration   float64               `json:"duration_seconds"`
+	Shards     int                   `json:"shards"`
+	Registered int64                 `json:"registered"`
+	RegPerSec  float64               `json:"registered_per_second"`
+	Gets       int64                 `json:"gets"`
+	Cancels    int64                 `json:"cancels"`
+	Conflicts  int64                 `json:"conflicts"`
+	Errors4xx  int64                 `json:"errors_4xx"`
+	Errors5xx  int64                 `json:"errors_5xx"`
+	NetErrors  int64                 `json:"net_errors"`
+	Ingest     obs.HistogramSnapshot `json:"ingest_latency_seconds"`
+	PerShard   []shardTick           `json:"per_shard_tick"`
+}
+
+func (g *generator) report(elapsed time.Duration) *report {
+	r := &report{
+		Duration:   elapsed.Seconds(),
+		Registered: g.registered.Load(),
+		Gets:       g.gets.Load(),
+		Cancels:    g.cancels.Load(),
+		Conflicts:  g.conflicts.Load(),
+		Errors4xx:  g.errors4xx.Load(),
+		Errors5xx:  g.errors5xx.Load(),
+		NetErrors:  g.netErrors.Load(),
+		Ingest:     g.ingest.Snapshot(),
+	}
+	if r.Duration > 0 {
+		r.RegPerSec = float64(r.Registered) / r.Duration
+	}
+	return r
+}
+
+// scrapePerShard pulls GET /v1/metrics and folds each fabric's tick
+// latency into the report. Best effort: a daemon that predates
+// sharding (or a dead server) just leaves the section empty.
+func scrapePerShard(client *http.Client, base string, rep *report) int {
+	resp, err := client.Get(base + "/v1/metrics")
+	if err != nil {
+		return 0
+	}
+	defer closeQuiet(resp.Body)
+	var cm shard.ClusterMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&cm); err != nil {
+		return 0
+	}
+	for _, s := range cm.PerShard {
+		rep.PerShard = append(rep.PerShard, shardTick{
+			Fabric:  s.Fabric,
+			Slot:    s.Slot,
+			TickP50: s.Metrics.TickLatency.P50,
+			TickP99: s.Metrics.TickLatency.P99,
+			TickMax: s.Metrics.TickLatency.Max,
+		})
+	}
+	return cm.Fabrics
+}
+
+func printReport(r *report, asJSON bool) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("duration         %.2fs\n", r.Duration)
+	fmt.Printf("registered       %d (%.0f/s)\n", r.Registered, r.RegPerSec)
+	fmt.Printf("gets / cancels   %d / %d (%d conflicts)\n", r.Gets, r.Cancels, r.Conflicts)
+	fmt.Printf("errors           4xx=%d 5xx=%d net=%d\n", r.Errors4xx, r.Errors5xx, r.NetErrors)
+	fmt.Printf("ingest latency   p50=%s p99=%s mean=%s (n=%d)\n",
+		ms(r.Ingest.P50), ms(r.Ingest.P99), ms(r.Ingest.Mean), r.Ingest.Count)
+	for _, s := range r.PerShard {
+		fmt.Printf("fabric %-3d tick  p50=%s p99=%s max=%s (slot %d)\n",
+			s.Fabric, ms(s.TickP50), ms(s.TickP99), ms(s.TickMax), s.Slot)
+	}
+}
+
+func ms(seconds float64) string {
+	return fmt.Sprintf("%.3fms", seconds*1e3)
+}
+
+// startInProcess runs a sharded coflowd on a loopback listener for
+// -selftest and returns its base URL plus a graceful teardown.
+func startInProcess(shards, ports int, tick time.Duration) (string, func()) {
+	c, err := shard.New(shard.Config{
+		Shards: shards,
+		Fabric: daemon.Config{
+			Ports:  ports,
+			Policy: online.SEBF,
+			Tick:   tick,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("selftest server: %v", err)
+		}
+	}()
+	log.Printf("selftest: in-process coflowd on %s (%d fabrics, m=%d)", ln.Addr(), shards, ports)
+	return "http://" + ln.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("selftest shutdown: %v", err)
+		}
+		if err := c.Close(); err != nil {
+			log.Printf("selftest close: %v", err)
+		}
+	}
+}

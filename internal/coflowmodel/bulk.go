@@ -1,0 +1,105 @@
+package coflowmodel
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Registrations is a decoded registration request body. The wire
+// format is either one Registration object (Bulk is false, Items has
+// one entry) or a JSON array of them (Bulk is true) — the bulk form
+// is how a high-throughput ingestion plane amortizes per-request HTTP
+// overhead across many coflows.
+//
+// Items and Errs are index-aligned with the body: Items[i] is the
+// i-th decoded registration and Errs[i] is nil when it is valid, or
+// the decode/validation failure for exactly that item. A bad item
+// never fails its siblings, so a bulk caller can register the valid
+// ones and report the rest per index.
+type Registrations struct {
+	Items []*Registration
+	Errs  []error
+	Bulk  bool
+}
+
+// Valid returns the number of items that decoded and validated.
+func (rs *Registrations) Valid() int {
+	n := 0
+	for _, err := range rs.Errs {
+		if err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// ParseRegistrations decodes a registration body that is either a
+// single JSON object or an array of objects, validating every item
+// against an m-port switch. Like ParseRegistration, unknown fields
+// are rejected — but inside an array the rejection is per item
+// (index-addressed in Errs) rather than fatal to the whole batch.
+//
+// The returned error is non-nil only for body-level failures: JSON
+// that is neither an object nor an array, a malformed array
+// structure, or a read failure (including *http.MaxBytesError). Such
+// errors wrap ErrMalformed unless they come from the reader itself.
+func ParseRegistrations(r io.Reader, ports int) (*Registrations, error) {
+	dec := json.NewDecoder(r)
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrMalformed, err)
+	}
+	delim, ok := tok.(json.Delim)
+	if !ok {
+		return nil, fmt.Errorf("%w: body must be a registration object or array, got %v", ErrMalformed, tok)
+	}
+	switch delim {
+	case '{':
+		// Single object: re-decode the whole body strictly. The token
+		// read consumed the opening brace, so splice it back in front
+		// of the decoder's buffered remainder.
+		rest := io.MultiReader(bytes.NewReader([]byte("{")), dec.Buffered(), r)
+		reg, err := parseOne(rest)
+		if err != nil {
+			return nil, err // single-object bodies fail whole, like ParseRegistration
+		}
+		return &Registrations{
+			Items: []*Registration{reg},
+			Errs:  []error{reg.Validate(ports)},
+		}, nil
+	case '[':
+		rs := &Registrations{Bulk: true}
+		for dec.More() {
+			var raw json.RawMessage
+			if err := dec.Decode(&raw); err != nil {
+				// The array structure itself is broken; positions past
+				// this point are unrecoverable.
+				return nil, fmt.Errorf("%w: item %d: %w", ErrMalformed, len(rs.Items), err)
+			}
+			reg, err := parseOne(bytes.NewReader(raw))
+			if err == nil {
+				err = reg.Validate(ports)
+			}
+			rs.Items = append(rs.Items, reg)
+			rs.Errs = append(rs.Errs, err)
+		}
+		if _, err := dec.Token(); err != nil { // closing ']'
+			return nil, fmt.Errorf("%w: %w", ErrMalformed, err)
+		}
+		return rs, nil
+	}
+	return nil, fmt.Errorf("%w: body must be a registration object or array", ErrMalformed)
+}
+
+// parseOne strictly decodes one registration object (no validation).
+func parseOne(r io.Reader) (*Registration, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var reg Registration
+	if err := dec.Decode(&reg); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrMalformed, err)
+	}
+	return &reg, nil
+}

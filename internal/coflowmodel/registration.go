@@ -25,6 +25,12 @@ type Registration struct {
 	// accumulate. A registration with no positive demand is legal and
 	// completes at its release slot.
 	Flows []Flow `json:"flows"`
+	// Fabric, when set, pins the registration to an explicit switch
+	// fabric in a sharded deployment instead of letting the router
+	// hash it. nil means "route by hash". Single-fabric services
+	// accept only nil or 0; a sharded cluster validates the range and
+	// rejects unknown fabric IDs with a structured 400.
+	Fabric *int `json:"fabric,omitempty"`
 }
 
 // Validate checks the registration against an m-port switch: weight
@@ -33,6 +39,9 @@ type Registration struct {
 func (reg *Registration) Validate(ports int) error {
 	if reg.Weight < 0 {
 		return fmt.Errorf("coflowmodel: registration has negative weight %g", reg.Weight)
+	}
+	if reg.Fabric != nil && *reg.Fabric < 0 {
+		return fmt.Errorf("coflowmodel: registration has negative fabric %d", *reg.Fabric)
 	}
 	for _, f := range reg.Flows {
 		if f.Src < 0 || f.Src >= ports || f.Dst < 0 || f.Dst >= ports {

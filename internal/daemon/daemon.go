@@ -38,6 +38,7 @@ import (
 
 	"coflow/internal/check"
 	"coflow/internal/coflowmodel"
+	"coflow/internal/obs"
 	"coflow/internal/online"
 	"coflow/internal/stats"
 )
@@ -144,11 +145,19 @@ type Metrics struct {
 	LastViolation string `json:"last_violation,omitempty"`
 }
 
+// summarySet caches the rolling-window summaries between publishes;
+// they are recomputed only when a tick or completion dirtied a window.
+type summarySet struct {
+	latency, slowdown, waits, services stats.Summary
+}
+
 // Snapshot is the immutable read-side view published after every
-// mutation, and the JSON document written at shutdown.
+// mutation, and the JSON document written at shutdown. Coflows is a
+// layered CoflowView rather than a plain map so ingest-heavy bursts
+// publish in O(1); its JSON form is still an object keyed by ID.
 type Snapshot struct {
-	Slot    int64                 `json:"slot"`
-	Coflows map[int]*CoflowStatus `json:"coflows"`
+	Slot    int64       `json:"slot"`
+	Coflows *CoflowView `json:"coflows"`
 	// Schedule is the matching served in the most recent tick.
 	Schedule []online.Assignment `json:"schedule"`
 	Metrics  Metrics             `json:"metrics"`
@@ -179,6 +188,11 @@ type command struct {
 	reg    *coflowmodel.Registration
 	cancel int  // coflow ID, when > 0 and reg == nil
 	tick   bool // advance one slot
+
+	// forceID, when > 0 with reg set, is the caller-chosen coflow ID
+	// (the shard router assigns cluster-unique IDs); 0 lets the loop
+	// assign the next sequential one.
+	forceID int
 
 	reply chan reply // nil for fire-and-forget ticker ticks
 }
@@ -236,7 +250,7 @@ func New(cfg Config) (*Daemon, error) {
 		quit: make(chan struct{}),
 		done: make(chan struct{}),
 	}
-	d.snap.Store(&Snapshot{Coflows: map[int]*CoflowStatus{}, Metrics: Metrics{
+	d.snap.Store(&Snapshot{Coflows: &CoflowView{}, Metrics: Metrics{
 		Policy: cfg.Policy.String(), ActivePolicy: cfg.Policy.String(),
 	}})
 	go d.loop()
@@ -260,6 +274,30 @@ func (d *Daemon) Register(reg *coflowmodel.Registration) (id int, release int64,
 	r, err := d.send(command{reg: reg})
 	return r.id, r.release, err
 }
+
+// RegisterWithID submits a registration under a caller-chosen positive
+// ID instead of the daemon's own sequence. A sharded cluster uses this
+// to hand out cluster-unique IDs while each fabric keeps its local
+// single-writer loop. It fails if the ID was ever used on this daemon
+// (live, completed, or cancelled).
+func (d *Daemon) RegisterWithID(id int, reg *coflowmodel.Registration) (release int64, err error) {
+	if id <= 0 {
+		return 0, fmt.Errorf("daemon: non-positive coflow id %d", id)
+	}
+	if err := reg.Validate(d.cfg.Ports); err != nil {
+		return 0, err
+	}
+	r, err := d.send(command{reg: reg, forceID: id})
+	return r.release, err
+}
+
+// Ports returns the fabric's switch size m.
+func (d *Daemon) Ports() int { return d.cfg.Ports }
+
+// MetricsRegistry exposes the daemon's obs registry so an aggregating
+// layer (the sharded cluster's /metrics) can render it with per-fabric
+// labels. Callers must treat it as read-only.
+func (d *Daemon) MetricsRegistry() *obs.Registry { return d.obs.reg }
 
 // Cancel cancels the live coflow with the given ID. It fails if the
 // ID is unknown or the coflow already completed.
@@ -401,39 +439,88 @@ func (d *Daemon) loop() {
 		mon = check.NewMonitor(d.cfg.Ports)
 	}
 
+	// The rolling-window summaries only change on ticks and
+	// completions; register/cancel-heavy bursts reuse the cached
+	// copies instead of re-sorting four windows per publish.
+	var (
+		summaries      summarySet
+		summariesDirty = true
+	)
+
+	statusOf := func(id int, ci *coflowInfo) *CoflowStatus {
+		if ci.terminal != nil {
+			return ci.terminal
+		}
+		cs := &CoflowStatus{
+			ID: id, Weight: ci.weight, Release: ci.release,
+			TotalDemand: ci.total, Load: ci.load,
+		}
+		switch {
+		case ci.cancelled:
+			cs.State = "cancelled"
+			ci.terminal = cs
+		case ci.completed >= 0:
+			cs.State = "completed"
+			cs.Completed = ci.completed
+			if denom := ci.release + ci.load; denom > 0 {
+				cs.Slowdown = float64(ci.completed) / float64(denom)
+			} else {
+				cs.Slowdown = 1
+			}
+			ci.terminal = cs
+		default:
+			cs.State = "active"
+			cs.Remaining, _ = state.Remaining(id)
+		}
+		return cs
+	}
+
+	// The published coflow table is layered (see CoflowView): every
+	// mutation appends just the statuses it touched to a shared delta —
+	// a register or cancel touches one coflow, a tick touches only the
+	// coflows it served or completed (at most one per port pair), never
+	// the whole table. The O(table) flatten runs only when the delta
+	// outgrows a cap proportional to the table, so its cost is O(1)
+	// amortized per delta entry and snapshots stay mostly shared.
+	const minDelta = 512
+	var (
+		viewBase   = map[int]*CoflowStatus{}
+		viewDeltas []viewDelta
+		touched    []int
+	)
+
 	publish := func() {
+		if summariesDirty {
+			summaries = summarySet{
+				latency:  latency.Summary(),
+				slowdown: slowdown.Summary(),
+				waits:    waits.Summary(),
+				services: services.Summary(),
+			}
+			summariesDirty = false
+		}
+		deltaCap := len(viewBase) / 4
+		if deltaCap < minDelta {
+			deltaCap = minDelta
+		}
+		if len(viewDeltas)+len(touched) > deltaCap {
+			base := make(map[int]*CoflowStatus, len(coflows))
+			for id, ci := range coflows {
+				base[id] = statusOf(id, ci)
+			}
+			// Old snapshots keep the previous backing array; starting a
+			// fresh one here is what makes them immutable.
+			viewBase, viewDeltas = base, nil
+		} else {
+			for _, id := range touched {
+				viewDeltas = append(viewDeltas, viewDelta{id, statusOf(id, coflows[id])})
+			}
+		}
+		touched = touched[:0]
 		view := &Snapshot{
 			Slot:     slot,
-			Coflows:  make(map[int]*CoflowStatus, len(coflows)),
+			Coflows:  &CoflowView{base: viewBase, delta: viewDeltas, n: len(viewDeltas)},
 			Schedule: lastSchedule,
-		}
-		for id, ci := range coflows {
-			if ci.terminal != nil {
-				view.Coflows[id] = ci.terminal
-				continue
-			}
-			cs := &CoflowStatus{
-				ID: id, Weight: ci.weight, Release: ci.release,
-				TotalDemand: ci.total, Load: ci.load,
-			}
-			switch {
-			case ci.cancelled:
-				cs.State = "cancelled"
-				ci.terminal = cs
-			case ci.completed >= 0:
-				cs.State = "completed"
-				cs.Completed = ci.completed
-				if denom := ci.release + ci.load; denom > 0 {
-					cs.Slowdown = float64(ci.completed) / float64(denom)
-				} else {
-					cs.Slowdown = 1
-				}
-				ci.terminal = cs
-			default:
-				cs.State = "active"
-				cs.Remaining, _ = state.Remaining(id)
-			}
-			view.Coflows[id] = cs
 		}
 		active := d.cfg.Policy
 		if degraded {
@@ -453,11 +540,11 @@ func (d *Daemon) loop() {
 			QueueDepth:    len(d.cmds),
 			TotalWeighted: totalWC,
 			LastTickSecs:  lastTick.Seconds(),
-			TickLatency:   latency.Summary(),
-			Slowdown:      slowdown.Summary(),
+			TickLatency:   summaries.latency,
+			Slowdown:      summaries.slowdown,
 
-			Wait:                    waits.Summary(),
-			Service:                 services.Summary(),
+			Wait:                    summaries.waits,
+			Service:                 summaries.services,
 			StageLatency:            d.obs.stageLatency(),
 			MatcherWarmStartHitRate: d.obs.step.WarmStartHitRate(),
 
@@ -480,6 +567,8 @@ func (d *Daemon) loop() {
 	}
 
 	complete := func(ci *coflowInfo, at int64) {
+		summariesDirty = true
+		touched = append(touched, ci.id)
 		ci.completed = at
 		completedN++
 		totalWC += ci.weight * float64(at)
@@ -502,8 +591,21 @@ func (d *Daemon) loop() {
 	handle := func(c command) reply {
 		switch {
 		case c.reg != nil:
-			id := nextID
-			nextID++
+			id := c.forceID
+			if id == 0 {
+				id = nextID
+				nextID++
+			} else {
+				// Caller-chosen IDs (the shard router's cluster-unique
+				// sequence) must never collide with anything this fabric
+				// has seen, live or terminal.
+				if _, exists := coflows[id]; exists {
+					return reply{err: fmt.Errorf("daemon: duplicate coflow id %d", id)}
+				}
+				if id >= nextID {
+					nextID = id + 1
+				}
+			}
 			cf := c.reg.Coflow(id, slot)
 			remaining, err := state.Add(id, cf.Weight, cf.Release, cf.Flows)
 			if err != nil {
@@ -515,6 +617,7 @@ func (d *Daemon) loop() {
 				completed: -1,
 			}
 			coflows[id] = ci
+			touched = append(touched, id)
 			registered++
 			d.obs.registered.Inc()
 			if remaining == 0 {
@@ -537,6 +640,12 @@ func (d *Daemon) loop() {
 			ticks++
 			lastTick = elapsed
 			latency.Observe(elapsed.Seconds())
+			summariesDirty = true
+			// Only the coflows this slot served have a new Remaining;
+			// everything else's published status is still exact.
+			for _, a := range res.Served {
+				touched = append(touched, a.Key)
+			}
 			d.obs.ticks.Inc()
 			d.obs.tickSeconds.Observe(elapsed.Seconds())
 			// res.Served aliases the State's reusable buffer; copy it,
@@ -583,11 +692,27 @@ func (d *Daemon) loop() {
 				mon.Remove(c.cancel)
 			}
 			ci.cancelled = true
+			touched = append(touched, c.cancel)
 			cancelledN++
 			d.obs.cancelled.Inc()
 			return reply{}
 		}
 	}
+
+	// Commands already queued behind the one just received are handled
+	// in the same batch, under ONE publish: the snapshot rebuild (and
+	// its rolling-window summaries) is the per-command cost ceiling,
+	// so amortizing it over a burst is what lets ingest scale. Replies
+	// are sent only after that publish, so the read-your-writes
+	// guarantee (an acked write is visible in the next Snapshot) is
+	// exactly as strong as with per-command publication. The batch is
+	// bounded so a firehose cannot starve publication or shutdown.
+	const maxBatch = 256
+	type handled struct {
+		c command
+		r reply
+	}
+	batch := make([]handled, 0, maxBatch)
 
 	publish()
 	for {
@@ -606,10 +731,21 @@ func (d *Daemon) loop() {
 			}()
 			return
 		case c := <-d.cmds:
-			r := handle(c)
+			batch = append(batch[:0], handled{c, handle(c)})
+		drain:
+			for len(batch) < maxBatch {
+				select {
+				case c2 := <-d.cmds:
+					batch = append(batch, handled{c2, handle(c2)})
+				default:
+					break drain
+				}
+			}
 			publish()
-			if c.reply != nil {
-				c.reply <- r
+			for i := range batch {
+				if batch[i].c.reply != nil {
+					batch[i].c.reply <- batch[i].r
+				}
 			}
 		}
 	}

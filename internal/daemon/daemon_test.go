@@ -47,7 +47,7 @@ func TestRegisterTickComplete(t *testing.T) {
 	if id != 1 || release != 0 {
 		t.Fatalf("Register = (%d, %d), want (1, 0)", id, release)
 	}
-	cs := d.Snapshot().Coflows[1]
+	cs := d.Snapshot().Coflows.Get(1)
 	if cs == nil || cs.State != "active" || cs.Remaining != 6 || cs.Load != 3 {
 		t.Fatalf("registered status = %+v", cs)
 	}
@@ -57,7 +57,7 @@ func TestRegisterTickComplete(t *testing.T) {
 		if err := d.Tick(); err != nil {
 			t.Fatal(err)
 		}
-		if cs := d.Snapshot().Coflows[1]; cs.State == "completed" {
+		if cs := d.Snapshot().Coflows.Get(1); cs.State == "completed" {
 			completedAt = cs.Completed
 			break
 		}
@@ -75,7 +75,7 @@ func TestRegisterTickComplete(t *testing.T) {
 	if m.TickLatency.Count == 0 || m.TickLatency.Max <= 0 {
 		t.Fatalf("tick latency not recorded: %+v", m.TickLatency)
 	}
-	if cs := d.Snapshot().Coflows[1]; cs.Slowdown < 1 {
+	if cs := d.Snapshot().Coflows.Get(1); cs.Slowdown < 1 {
 		t.Fatalf("slowdown = %g < 1", cs.Slowdown)
 	}
 }
@@ -92,7 +92,7 @@ func TestZeroDemandCompletesAtRelease(t *testing.T) {
 	if release != 1 {
 		t.Fatalf("release = %d, want 1", release)
 	}
-	cs := d.Snapshot().Coflows[id]
+	cs := d.Snapshot().Coflows.Get(id)
 	if cs.State != "completed" || cs.Completed != 1 || cs.Slowdown != 1 {
 		t.Fatalf("zero-demand status = %+v", cs)
 	}
@@ -134,14 +134,14 @@ func TestCancel(t *testing.T) {
 	if err := d.Cancel(hog); err == nil {
 		t.Fatal("double cancel accepted")
 	}
-	if cs := d.Snapshot().Coflows[hog]; cs.State != "cancelled" {
+	if cs := d.Snapshot().Coflows.Get(hog); cs.State != "cancelled" {
 		t.Fatalf("hog state = %q", cs.State)
 	}
 	// With the hog gone, the small coflow completes in one slot.
 	if err := d.Tick(); err != nil {
 		t.Fatal(err)
 	}
-	cs := d.Snapshot().Coflows[small]
+	cs := d.Snapshot().Coflows.Get(small)
 	if cs.State != "completed" || cs.Completed != 1 {
 		t.Fatalf("small coflow = %+v", cs)
 	}
@@ -297,12 +297,13 @@ func TestConcurrentRegistrationsAndReads(t *testing.T) {
 					t.Error("completed exceeds registered")
 					return
 				}
-				for _, cs := range snap.Coflows {
+				snap.Coflows.Range(func(_ int, cs *CoflowStatus) bool {
 					if cs.State == "completed" && cs.Remaining != 0 {
 						t.Errorf("completed coflow with remaining %d", cs.Remaining)
-						return
+						return false
 					}
-				}
+					return true
+				})
 			}
 		}()
 	}

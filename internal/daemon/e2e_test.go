@@ -191,8 +191,8 @@ func TestE2E(t *testing.T) {
 	if err := json.Unmarshal(raw, &snap); err != nil {
 		t.Fatalf("final snapshot is not valid JSON: %v", err)
 	}
-	if cs := snap.Coflows[1]; cs == nil || cs.State != "completed" || cs.Completed != status.Completed {
-		t.Fatalf("final snapshot coflow 1 = %+v", snap.Coflows[1])
+	if cs := snap.Coflows.Get(1); cs == nil || cs.State != "completed" || cs.Completed != status.Completed {
+		t.Fatalf("final snapshot coflow 1 = %+v", snap.Coflows.Get(1))
 	}
 	if snap.Metrics.Registered != 2 || snap.Metrics.Cancelled != 1 {
 		t.Fatalf("final snapshot metrics = %+v", snap.Metrics)

@@ -175,7 +175,7 @@ func TestSelfCheckCancelledCoflow(t *testing.T) {
 	if m.SelfCheckViolations != 0 {
 		t.Errorf("cancellation produced %d violations (last: %s)", m.SelfCheckViolations, m.LastViolation)
 	}
-	if cs := d.Snapshot().Coflows[id2]; cs.State != "completed" {
+	if cs := d.Snapshot().Coflows.Get(id2); cs.State != "completed" {
 		t.Errorf("survivor coflow state %q, want completed", cs.State)
 	}
 }
@@ -234,8 +234,8 @@ func TestSnapshotWriteIsAtomic(t *testing.T) {
 	if err := json.Unmarshal(raw, &snap); err != nil {
 		t.Fatalf("snapshot is not clean JSON after overwrite: %v", err)
 	}
-	if snap.Slot != 1 || len(snap.Coflows) != 1 {
-		t.Fatalf("snapshot content wrong: slot=%d coflows=%d", snap.Slot, len(snap.Coflows))
+	if snap.Slot != 1 || snap.Coflows.Len() != 1 {
+		t.Fatalf("snapshot content wrong: slot=%d coflows=%d", snap.Slot, snap.Coflows.Len())
 	}
 	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
 		t.Fatalf("temp file left behind: %v", err)

@@ -3,6 +3,7 @@ package daemon
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 
@@ -13,7 +14,8 @@ import (
 
 // Handler returns the daemon's HTTP control plane:
 //
-//	POST   /v1/coflows      register a coflow (Registration JSON body)
+//	POST   /v1/coflows      register coflows (one Registration object,
+//	                        or an array for bulk with per-item results)
 //	GET    /v1/coflows      list every known coflow
 //	GET    /v1/coflows/{id} one coflow's status
 //	DELETE /v1/coflows/{id} cancel a live coflow
@@ -75,31 +77,137 @@ func writeError(w http.ResponseWriter, code int, kind, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg, "kind": kind})
 }
 
-func (d *Daemon) handleRegister(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, d.cfg.MaxBody)
-	reg, err := coflowmodel.ParseRegistration(body, d.cfg.Ports)
+// WriteJSON, WriteError and MethodNotAllowed are the control plane's
+// response vocabulary, exported so the shard cluster's handlers speak
+// the exact same wire contract (structured errors, 405-with-Allow).
+func WriteJSON(w http.ResponseWriter, code int, v any)             { writeJSON(w, code, v) }
+func WriteError(w http.ResponseWriter, code int, kind, msg string) { writeError(w, code, kind, msg) }
+func MethodNotAllowed(allow string) http.HandlerFunc               { return methodNotAllowed(allow) }
+
+// classifyParseError maps a body-level ParseRegistrations failure to
+// its HTTP status and structured kind.
+func classifyParseError(err error) (code int, kind string) {
+	code, kind = http.StatusBadRequest, "validation"
+	var tooLarge *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooLarge):
+		code, kind = http.StatusRequestEntityTooLarge, "too_large"
+	case errors.Is(err, coflowmodel.ErrMalformed):
+		kind = "malformed_json"
+	}
+	return code, kind
+}
+
+// itemErrorKind classifies one bulk item's failure for its per-item
+// result entry.
+func itemErrorKind(err error) string {
+	switch {
+	case errors.Is(err, coflowmodel.ErrMalformed):
+		return "malformed_json"
+	case errors.Is(err, ErrClosed):
+		return "unavailable"
+	case errors.Is(err, ErrUnknownFabric):
+		return "unknown_fabric"
+	default:
+		return "validation"
+	}
+}
+
+// ErrUnknownFabric marks a registration pinned to a fabric ID the
+// deployment does not have. The single-fabric daemon only knows
+// fabric 0; the shard router validates against its fabric count.
+var ErrUnknownFabric = errors.New("unknown fabric")
+
+// BulkItem is one per-item result of a bulk POST /v1/coflows,
+// index-aligned with the request array.
+type BulkItem struct {
+	Index   int    `json:"index"`
+	ID      int    `json:"id,omitempty"`
+	Release int64  `json:"release,omitempty"`
+	Fabric  int    `json:"fabric"`
+	Error   string `json:"error,omitempty"`
+	Kind    string `json:"kind,omitempty"`
+}
+
+// BulkResponse is the body of a bulk POST /v1/coflows: per-item
+// results plus the accepted/rejected split.
+type BulkResponse struct {
+	Results []BulkItem `json:"results"`
+	OK      int        `json:"ok"`
+	Failed  int        `json:"failed"`
+}
+
+// RegisterFunc registers one decoded item and reports where it landed;
+// the single daemon and the shard router plug in their own.
+type RegisterFunc func(*coflowmodel.Registration) (id int, release int64, fabric int, err error)
+
+// ServeRegister is the POST /v1/coflows body shared by the
+// single-fabric daemon and the sharded cluster: decode (object or
+// array), then hand each valid item to register. Single-object bodies
+// keep the original 201 {"id","release"} contract; array bodies get a
+// 200 with index-aligned per-item results, where one bad item never
+// fails its siblings. It reports whether the body was an array and
+// how many items it carried, so callers can meter bulk traffic.
+func ServeRegister(w http.ResponseWriter, r *http.Request, maxBody int64, ports int, register RegisterFunc) (bulk bool, items int) {
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	rs, err := coflowmodel.ParseRegistrations(body, ports)
 	if err != nil {
-		code, kind := http.StatusBadRequest, "validation"
-		var tooLarge *http.MaxBytesError
-		switch {
-		case errors.As(err, &tooLarge):
-			code, kind = http.StatusRequestEntityTooLarge, "too_large"
-		case errors.Is(err, coflowmodel.ErrMalformed):
-			kind = "malformed_json"
-		}
+		code, kind := classifyParseError(err)
 		writeError(w, code, kind, err.Error())
-		return
+		return false, 0
+	}
+	bulk, items = rs.Bulk, len(rs.Items)
+	if !rs.Bulk {
+		if err := rs.Errs[0]; err != nil {
+			code, kind := classifyParseError(err)
+			writeError(w, code, kind, err.Error())
+			return bulk, items
+		}
+		id, release, fabric, err := register(rs.Items[0])
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+				return bulk, items
+			}
+			writeError(w, http.StatusBadRequest, itemErrorKind(err), err.Error())
+			return bulk, items
+		}
+		writeJSON(w, http.StatusCreated, map[string]any{"id": id, "release": release, "fabric": fabric})
+		return bulk, items
+	}
+	resp := BulkResponse{Results: make([]BulkItem, len(rs.Items))}
+	for i, reg := range rs.Items {
+		item := &resp.Results[i]
+		item.Index = i
+		err := rs.Errs[i]
+		if err == nil {
+			item.ID, item.Release, item.Fabric, err = register(reg)
+		}
+		if err != nil {
+			item.ID, item.Release, item.Fabric = 0, 0, 0
+			item.Error, item.Kind = err.Error(), itemErrorKind(err)
+			resp.Failed++
+			continue
+		}
+		resp.OK++
+	}
+	writeJSON(w, http.StatusOK, &resp)
+	return bulk, items
+}
+
+func (d *Daemon) handleRegister(w http.ResponseWriter, r *http.Request) {
+	ServeRegister(w, r, d.cfg.MaxBody, d.cfg.Ports, d.registerOne)
+}
+
+// registerOne adapts Register for serveRegister: the single-fabric
+// daemon is fabric 0, and a registration pinned anywhere else is a
+// routing error, not something to silently misplace.
+func (d *Daemon) registerOne(reg *coflowmodel.Registration) (int, int64, int, error) {
+	if reg.Fabric != nil && *reg.Fabric != 0 {
+		return 0, 0, 0, fmt.Errorf("daemon: %w %d (single-fabric deployment)", ErrUnknownFabric, *reg.Fabric)
 	}
 	id, release, err := d.Register(reg)
-	if err != nil {
-		if errors.Is(err, ErrClosed) {
-			writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
-			return
-		}
-		writeError(w, http.StatusBadRequest, "validation", err.Error())
-		return
-	}
-	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "release": release})
+	return id, release, 0, err
 }
 
 // pathID parses the {id} path segment.
@@ -117,8 +225,8 @@ func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	cs, ok := d.Snapshot().Coflows[id]
-	if !ok {
+	cs := d.Snapshot().Coflows.Get(id)
+	if cs == nil {
 		writeError(w, http.StatusNotFound, "not_found", "unknown coflow "+strconv.Itoa(id))
 		return
 	}
@@ -142,7 +250,7 @@ func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrClosed):
 			writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
-		case d.Snapshot().Coflows[id] == nil:
+		case d.Snapshot().Coflows.Get(id) == nil:
 			writeError(w, http.StatusNotFound, "not_found", err.Error())
 		default: // known but already completed/cancelled
 			writeError(w, http.StatusConflict, "conflict", err.Error())

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusLabeled: per-shard registries sharing one schema
+// render as a single valid exposition — each metric name in one
+// contiguous block with HELP/TYPE once, one labeled sample set per
+// registry.
+func TestWritePrometheusLabeled(t *testing.T) {
+	mk := func(ticks int64, obsv float64) *Registry {
+		r := NewRegistry()
+		r.Counter("d_ticks_total", "ticks").Add(ticks)
+		r.Histogram("d_tick_seconds", "tick latency", []float64{0.1, 1}).Observe(obsv)
+		return r
+	}
+	r0, r1 := mk(3, 0.05), mk(7, 0.5)
+
+	var b strings.Builder
+	if err := WritePrometheusLabeled(&b, "fabric", []string{"0", "1"}, []*Registry{r0, r1}); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+
+	for _, want := range []string{
+		"# HELP d_ticks_total ticks\n",
+		"# TYPE d_ticks_total counter\n",
+		`d_ticks_total{fabric="0"} 3` + "\n",
+		`d_ticks_total{fabric="1"} 7` + "\n",
+		"# TYPE d_tick_seconds histogram\n",
+		`d_tick_seconds_bucket{fabric="0",le="0.1"} 1` + "\n",
+		`d_tick_seconds_bucket{fabric="1",le="0.1"} 0` + "\n",
+		`d_tick_seconds_bucket{fabric="1",le="+Inf"} 1` + "\n",
+		`d_tick_seconds_count{fabric="0"} 1` + "\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n%s", want, body)
+		}
+	}
+
+	// Each metric name gets exactly one metadata block: duplicated
+	// HELP/TYPE lines would make the exposition invalid.
+	if got := strings.Count(body, "# TYPE d_ticks_total counter"); got != 1 {
+		t.Errorf("TYPE block for d_ticks_total appears %d times, want 1", got)
+	}
+	if got := strings.Count(body, "# TYPE d_tick_seconds histogram"); got != 1 {
+		t.Errorf("TYPE block for d_tick_seconds appears %d times, want 1", got)
+	}
+
+	// Blocks are contiguous: every d_ticks_total sample precedes the
+	// d_tick_seconds metadata (first registry's registration order).
+	if strings.Index(body, `d_ticks_total{fabric="1"}`) > strings.Index(body, "# TYPE d_tick_seconds") {
+		t.Error("metric blocks interleaved")
+	}
+}
+
+func TestWritePrometheusLabeledErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := WritePrometheusLabeled(&strings.Builder{}, "fabric", []string{"0"}, nil); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if err := WritePrometheusLabeled(&strings.Builder{}, "bad label", []string{"0"}, []*Registry{r}); err == nil {
+		t.Error("invalid label name accepted")
+	}
+	// Nil registries are skipped, not fatal.
+	if err := WritePrometheusLabeled(&strings.Builder{}, "fabric", []string{"0", "1"}, []*Registry{nil, r}); err != nil {
+		t.Errorf("nil registry: %v", err)
+	}
+}

@@ -29,6 +29,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 
 func writePromMetric(w io.Writer, m metric) error {
+	if err := writePromHeader(w, m); err != nil {
+		return err
+	}
+	return writePromSamples(w, m, "")
+}
+
+// writePromHeader emits the # HELP / # TYPE metadata block of one
+// metric.
+func writePromHeader(w io.Writer, m metric) error {
 	name, help := m.metricName(), m.metricHelp()
 	kind := ""
 	switch m.(type) {
@@ -38,21 +47,34 @@ func writePromMetric(w io.Writer, m metric) error {
 		kind = "gauge"
 	case *Histogram:
 		kind = "histogram"
+	default:
+		return fmt.Errorf("obs: unknown metric kind for %q", name)
 	}
 	if help != "" {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind); err != nil {
-		return err
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+	return err
+}
+
+// writePromSamples emits one metric's sample lines. labels, when
+// non-empty, is an already-rendered label pair list (`fabric="3"`)
+// spliced into every sample — histograms merge it with their le
+// label.
+func writePromSamples(w io.Writer, m metric, labels string) error {
+	name := m.metricName()
+	sel := ""
+	if labels != "" {
+		sel = "{" + labels + "}"
 	}
 	switch v := m.(type) {
 	case *Counter:
-		_, err := fmt.Fprintf(w, "%s %d\n", name, v.Value())
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, sel, v.Value())
 		return err
 	case *Gauge:
-		_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(v.Value()))
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, sel, formatFloat(v.Value()))
 		return err
 	case *Histogram:
 		var cum uint64
@@ -62,17 +84,72 @@ func writePromMetric(w io.Writer, m metric) error {
 			if i < len(v.bounds) {
 				le = formatFloat(v.bounds[i])
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			bucketSel := "{le=" + strconv.Quote(le) + "}"
+			if labels != "" {
+				bucketSel = "{" + labels + ",le=" + strconv.Quote(le) + "}"
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketSel, cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(v.Sum())); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, sel, formatFloat(v.Sum())); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count %d\n", name, v.Count())
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, sel, v.Count())
 		return err
 	}
 	return fmt.Errorf("obs: unknown metric kind for %q", name)
+}
+
+// WritePrometheusLabeled renders several registries that share one
+// metric schema — a sharded deployment's per-fabric registries — as a
+// single valid exposition: every metric name appears in one block
+// (HELP/TYPE once), with one sample set per registry distinguished by
+// label (`<label>="<values[i]>"`). The metric order is the first
+// registry's registration order; names some registries lack are
+// simply absent from their sample sets, and names only later
+// registries have are appended after.
+//
+// values[i] labels regs[i]; the slices must be the same length. Nil
+// registries are skipped.
+func WritePrometheusLabeled(w io.Writer, label string, values []string, regs []*Registry) error {
+	if len(values) != len(regs) {
+		return fmt.Errorf("obs: %d label values for %d registries", len(values), len(regs))
+	}
+	if !validName(label) {
+		return fmt.Errorf("obs: invalid label name %q", label)
+	}
+	type sample struct {
+		labels string
+		m      metric
+	}
+	var order []string // metric names, first-seen order
+	byName := map[string][]sample{}
+	for i, r := range regs {
+		if r == nil {
+			continue
+		}
+		labels := label + "=" + strconv.Quote(values[i])
+		for _, m := range r.snapshotMetrics() {
+			name := m.metricName()
+			if _, seen := byName[name]; !seen {
+				order = append(order, name)
+			}
+			byName[name] = append(byName[name], sample{labels: labels, m: m})
+		}
+	}
+	for _, name := range order {
+		group := byName[name]
+		if err := writePromHeader(w, group[0].m); err != nil {
+			return err
+		}
+		for _, s := range group {
+			if err := writePromSamples(w, s.m, s.labels); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // formatFloat renders a float the way Prometheus clients do: shortest

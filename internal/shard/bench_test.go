@@ -1,0 +1,28 @@
+package shard
+
+import (
+	"testing"
+
+	"coflow/internal/coflowmodel"
+	"coflow/internal/daemon"
+	"coflow/internal/online"
+)
+
+// BenchmarkClusterRegister measures direct (no-HTTP) ingest through
+// the router and fabric loops, parallel clients.
+func BenchmarkClusterRegister(b *testing.B) {
+	c, err := New(Config{Shards: 4, AggEvery: -1, Fabric: daemon.Config{Ports: 16, Policy: online.SEBF}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			reg := &coflowmodel.Registration{Flows: []coflowmodel.Flow{{Src: 0, Dst: 1, Size: 5}}}
+			if _, _, _, err := c.Register(reg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

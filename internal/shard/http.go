@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+
+	"coflow/internal/daemon"
+	"coflow/internal/obs"
+	"coflow/internal/online"
+)
+
+// Handler returns the cluster's HTTP control plane. It is the
+// single-fabric daemon's API made shard-aware:
+//
+//	POST   /v1/coflows      register one coflow (object body) or many
+//	                        (array body, per-item results)
+//	GET    /v1/coflows      every coflow across all fabrics
+//	GET    /v1/coflows/{id} one coflow's status (+ owning fabric)
+//	DELETE /v1/coflows/{id} cancel, wherever the coflow lives
+//	GET    /v1/schedule     per-fabric matchings (?fabric=K filters)
+//	GET    /v1/metrics      cross-shard rollup + per-shard detail
+//	GET    /metrics         Prometheus text: cluster registry plus
+//	                        every fabric's registry under fabric="i"
+//	GET    /healthz         liveness + per-fabric slots
+//
+// All GETs read atomic snapshots and the amortized aggregate; no
+// request ever waits on a fabric loop. Errors follow the daemon's
+// structured {"error","kind"} contract, with kind unknown_fabric for
+// registrations or filters naming a fabric the cluster does not have.
+func (c *Cluster) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/coflows", c.handleRegister)
+	mux.HandleFunc("GET /v1/coflows", c.handleList)
+	mux.HandleFunc("GET /v1/coflows/{id}", c.handleGet)
+	mux.HandleFunc("DELETE /v1/coflows/{id}", c.handleCancel)
+	mux.HandleFunc("GET /v1/schedule", c.handleSchedule)
+	mux.HandleFunc("GET /v1/metrics", c.handleMetrics)
+	mux.HandleFunc("GET /metrics", c.handlePrometheus)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("/v1/coflows", daemon.MethodNotAllowed("GET, POST"))
+	mux.HandleFunc("/v1/coflows/{id}", daemon.MethodNotAllowed("DELETE, GET"))
+	mux.HandleFunc("/v1/schedule", daemon.MethodNotAllowed("GET"))
+	mux.HandleFunc("/v1/metrics", daemon.MethodNotAllowed("GET"))
+	mux.HandleFunc("/metrics", daemon.MethodNotAllowed("GET"))
+	mux.HandleFunc("/healthz", daemon.MethodNotAllowed("GET"))
+	return mux
+}
+
+func (c *Cluster) handleRegister(w http.ResponseWriter, r *http.Request) {
+	// Parse-time validation uses the widest fabric so a heterogeneous
+	// deployment never rejects a port the target fabric does have; the
+	// owning fabric re-validates against its own size on ingest.
+	bulk, items := daemon.ServeRegister(w, r, c.maxBody, c.maxPorts, c.Register)
+	if bulk {
+		c.obs.bulkRequests.Inc()
+		c.obs.bulkItems.Add(int64(items))
+	}
+}
+
+// coflowEntry decorates a coflow status with its owning fabric.
+type coflowEntry struct {
+	Fabric int `json:"fabric"`
+	*daemon.CoflowStatus
+}
+
+func (c *Cluster) handleList(w http.ResponseWriter, r *http.Request) {
+	slots := make([]int64, len(c.fabrics))
+	coflows := make(map[int]coflowEntry)
+	for i, d := range c.fabrics {
+		snap := d.Snapshot()
+		slots[i] = snap.Slot
+		snap.Coflows.Range(func(id int, cs *daemon.CoflowStatus) bool {
+			coflows[id] = coflowEntry{Fabric: i, CoflowStatus: cs}
+			return true
+		})
+	}
+	daemon.WriteJSON(w, http.StatusOK, map[string]any{
+		"fabrics": len(c.fabrics),
+		"slots":   slots,
+		"coflows": coflows,
+	})
+}
+
+// pathID parses the {id} path segment.
+func pathID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id <= 0 {
+		daemon.WriteError(w, http.StatusBadRequest, "validation", "coflow id must be a positive integer")
+		return 0, false
+	}
+	return id, true
+}
+
+func (c *Cluster) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	fabric, cs, ok := c.Owner(id)
+	if !ok {
+		daemon.WriteError(w, http.StatusNotFound, "not_found", "unknown coflow "+strconv.Itoa(id))
+		return
+	}
+	daemon.WriteJSON(w, http.StatusOK, coflowEntry{Fabric: fabric, CoflowStatus: cs})
+}
+
+func (c *Cluster) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	if err := c.Cancel(id); err != nil {
+		switch {
+		case errors.Is(err, ErrUnknownCoflow):
+			daemon.WriteError(w, http.StatusNotFound, "not_found", err.Error())
+		case errors.Is(err, daemon.ErrClosed):
+			daemon.WriteError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+		default: // known but already completed/cancelled
+			daemon.WriteError(w, http.StatusConflict, "conflict", err.Error())
+		}
+		return
+	}
+	daemon.WriteJSON(w, http.StatusOK, map[string]any{"id": id, "cancelled": true})
+}
+
+// fabricSchedule is one fabric's slice of GET /v1/schedule.
+type fabricSchedule struct {
+	Fabric      int                 `json:"fabric"`
+	Slot        int64               `json:"slot"`
+	Policy      string              `json:"policy"`
+	Assignments []online.Assignment `json:"assignments"`
+}
+
+func (c *Cluster) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	first, last := 0, len(c.fabrics)-1
+	if q := r.URL.Query().Get("fabric"); q != "" {
+		k, err := strconv.Atoi(q)
+		if err != nil || k < 0 || k >= len(c.fabrics) {
+			daemon.WriteError(w, http.StatusBadRequest, "unknown_fabric",
+				"fabric must be an integer in 0.."+strconv.Itoa(len(c.fabrics)-1))
+			return
+		}
+		first, last = k, k
+	}
+	schedules := make([]fabricSchedule, 0, last-first+1)
+	for i := first; i <= last; i++ {
+		snap := c.fabrics[i].Snapshot()
+		assignments := snap.Schedule
+		if assignments == nil {
+			assignments = []online.Assignment{} // render [] rather than null
+		}
+		schedules = append(schedules, fabricSchedule{
+			Fabric:      i,
+			Slot:        snap.Slot,
+			Policy:      snap.Metrics.ActivePolicy,
+			Assignments: assignments,
+		})
+	}
+	daemon.WriteJSON(w, http.StatusOK, map[string]any{
+		"fabrics":   len(c.fabrics),
+		"schedules": schedules,
+	})
+}
+
+func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	daemon.WriteJSON(w, http.StatusOK, c.Metrics())
+}
+
+// handlePrometheus renders one exposition: the cluster registry's own
+// series (router counters, ingest latency, rollup gauges — refreshed
+// through the amortized aggregate first), followed by every fabric's
+// registry zipped under a fabric="i" label so per-shard series share
+// a single HELP/TYPE block per metric name.
+func (c *Cluster) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	c.Metrics() // refresh rollup gauges (amortized)
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	// Best effort: a short scrape means the scraper disconnected.
+	if err := c.obs.reg.WritePrometheus(w); err != nil {
+		return
+	}
+	regs := make([]*obs.Registry, len(c.fabrics))
+	for i, d := range c.fabrics {
+		regs[i] = d.MetricsRegistry()
+	}
+	// Same best-effort contract as above.
+	_ = obs.WritePrometheusLabeled(w, "fabric", c.labels, regs)
+}
+
+func (c *Cluster) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if c.closed.Load() {
+		daemon.WriteError(w, http.StatusServiceUnavailable, "unavailable", "shutting down")
+		return
+	}
+	slots := make([]int64, len(c.fabrics))
+	for i, d := range c.fabrics {
+		slots[i] = d.Snapshot().Slot
+	}
+	daemon.WriteJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"fabrics": len(c.fabrics),
+		"slots":   slots,
+	})
+}

@@ -1,0 +1,52 @@
+package shard
+
+import "coflow/internal/obs"
+
+// clusterObs is the cluster-level metrics registry: the routing and
+// ingestion counters that exist above any single fabric. Per-fabric
+// scheduling metrics stay in each daemon's own registry (scoped by a
+// fabric label in the Prometheus exposition); this registry only
+// carries what the router and the bulk plane themselves do.
+type clusterObs struct {
+	reg *obs.Registry
+
+	fabrics       *obs.Gauge
+	routed        *obs.Counter
+	pinned        *obs.Counter
+	fallbackScans *obs.Counter
+	bulkRequests  *obs.Counter
+	bulkItems     *obs.Counter
+	ingestErrors  *obs.Counter
+	ingestSeconds *obs.Histogram
+
+	// Scrape-time rollups across fabrics, refreshed from the amortized
+	// aggregate: one place a dashboard can read cluster totals without
+	// summing labeled series.
+	rollupRegistered *obs.Gauge
+	rollupCompleted  *obs.Gauge
+	rollupCancelled  *obs.Gauge
+	rollupActive     *obs.Gauge
+	rollupWeighted   *obs.Gauge
+}
+
+func newClusterObs() *clusterObs {
+	r := obs.NewRegistry()
+	return &clusterObs{
+		reg: r,
+
+		fabrics:       r.Gauge("coflow_cluster_fabrics", "switch fabrics in the cluster"),
+		routed:        r.Counter("coflow_cluster_routed_total", "registrations placed by the consistent-hash router"),
+		pinned:        r.Counter("coflow_cluster_pinned_total", "registrations placed by an explicit fabric ID"),
+		fallbackScans: r.Counter("coflow_cluster_route_fallback_scans_total", "ID lookups that missed the hash-owner fabric and scanned the rest (pinned coflows)"),
+		bulkRequests:  r.Counter("coflow_cluster_bulk_requests_total", "bulk (array-body) registration requests"),
+		bulkItems:     r.Counter("coflow_cluster_bulk_items_total", "registration items carried by bulk requests"),
+		ingestErrors:  r.Counter("coflow_cluster_ingest_errors_total", "registrations rejected (validation, unknown fabric, or shutdown)"),
+		ingestSeconds: r.Histogram("coflow_cluster_ingest_seconds", "latency of one registration through route and fabric loop", obs.LatencyBuckets),
+
+		rollupRegistered: r.Gauge("coflow_cluster_coflows_registered", "rollup: coflows registered across all fabrics"),
+		rollupCompleted:  r.Gauge("coflow_cluster_coflows_completed", "rollup: coflows completed across all fabrics"),
+		rollupCancelled:  r.Gauge("coflow_cluster_coflows_cancelled", "rollup: coflows cancelled across all fabrics"),
+		rollupActive:     r.Gauge("coflow_cluster_coflows_active", "rollup: live coflows across all fabrics"),
+		rollupWeighted:   r.Gauge("coflow_cluster_total_weighted_completion", "rollup: sum of weight times completion slot across all fabrics"),
+	}
+}

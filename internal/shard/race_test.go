@@ -1,0 +1,164 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"coflow/internal/coflowmodel"
+)
+
+// TestConcurrentCancelAndTick interleaves registrations, cancels,
+// ticks and snapshot readers across 4 fabrics. Run under -race (make
+// check does) this is the cluster's linearizability smoke test; the
+// assertions hold regardless:
+//
+//   - no lost cancellations: every cancel the cluster acked leaves the
+//     coflow in state "cancelled" — a tick racing the cancel must not
+//     resurrect or complete it,
+//   - snapshot stability: concurrent readers always find acked IDs and
+//     never observe a torn status,
+//   - conservation: registered = completed + cancelled + active after
+//     the dust settles.
+func TestConcurrentCancelAndTick(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 4, AggEvery: 100 * time.Microsecond})
+
+	const (
+		registrants   = 4
+		perRegistrant = 150
+		cancellers    = 2
+		readers       = 2
+		slowFlowEvery = 2 // every 2nd registration is long-lived (cancellable)
+		slowFlowSize  = int64(1 << 30)
+	)
+
+	idsCh := make(chan int, registrants*perRegistrant)
+	done := make(chan struct{})
+
+	var regWG sync.WaitGroup
+	var allRegistered sync.Map // id -> struct{}
+	for g := 0; g < registrants; g++ {
+		regWG.Add(1)
+		go func(g int) {
+			defer regWG.Done()
+			for i := 0; i < perRegistrant; i++ {
+				size := int64(1)
+				if i%slowFlowEvery == 0 {
+					size = slowFlowSize
+				}
+				reg := &coflowmodel.Registration{
+					Flows: []coflowmodel.Flow{{Src: g % 2, Dst: i % 2, Size: size}},
+				}
+				if i%7 == 0 {
+					pin := (g + i) % 4
+					reg.Fabric = &pin
+				}
+				id, _, _, err := c.Register(reg)
+				if err != nil {
+					t.Errorf("register: %v", err)
+					return
+				}
+				allRegistered.Store(id, struct{}{})
+				idsCh <- id
+			}
+		}(g)
+	}
+	go func() {
+		regWG.Wait()
+		close(idsCh)
+	}()
+
+	// Cancellers race the ticker over every registered ID. A nil error
+	// is the cluster's promise the cancel took effect.
+	var cancelWG sync.WaitGroup
+	var mu sync.Mutex
+	var acked []int
+	for g := 0; g < cancellers; g++ {
+		cancelWG.Add(1)
+		go func() {
+			defer cancelWG.Done()
+			for id := range idsCh {
+				if err := c.Cancel(id); err == nil {
+					mu.Lock()
+					acked = append(acked, id)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	var bgWG sync.WaitGroup
+	bgWG.Add(1)
+	go func() { // ticker: every fabric advances while writes land
+		defer bgWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if err := c.Tick(); err != nil {
+					t.Errorf("tick: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for g := 0; g < readers; g++ {
+		bgWG.Add(1)
+		go func() { // readers: acked IDs are always findable and sane
+			defer bgWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				allRegistered.Range(func(k, _ any) bool {
+					id := k.(int)
+					fabric, cs, ok := c.Owner(id)
+					if !ok {
+						t.Errorf("acked coflow %d vanished", id)
+						return false
+					}
+					if cs.ID != id || fabric < 0 || fabric >= 4 {
+						t.Errorf("torn read: id %d -> fabric %d, status %+v", id, fabric, cs)
+						return false
+					}
+					return true
+				})
+				if m := c.Metrics(); len(m.PerShard) != 4 {
+					t.Errorf("metrics read saw %d shards", len(m.PerShard))
+					return
+				}
+			}
+		}()
+	}
+
+	cancelWG.Wait()
+	close(done)
+	bgWG.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// No lost cancellations.
+	for _, id := range acked {
+		_, cs, ok := c.Owner(id)
+		if !ok || cs.State != "cancelled" {
+			t.Errorf("acked cancel of %d lost: %+v", id, cs)
+		}
+	}
+
+	// Conservation across the whole cluster (bypassing the amortized
+	// cache so the numbers are post-quiescence).
+	m := c.computeMetrics()
+	if want := int64(registrants * perRegistrant); m.Registered != want {
+		t.Errorf("registered = %d, want %d", m.Registered, want)
+	}
+	if m.Cancelled != int64(len(acked)) {
+		t.Errorf("cancelled metric = %d, acked cancels = %d", m.Cancelled, len(acked))
+	}
+	if m.Registered != m.Completed+m.Cancelled+int64(m.Active) {
+		t.Errorf("conservation violated: %+v", m)
+	}
+}

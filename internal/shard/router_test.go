@@ -1,0 +1,89 @@
+package shard
+
+import "testing"
+
+// TestRouteDistribution: consistent hashing over sequential coflow IDs
+// must stay balanced — with default replicas, no fabric may own more
+// than 2x the mean share of 10k keys (the routing bound the HTTP plane
+// relies on for per-shard capacity planning).
+func TestRouteDistribution(t *testing.T) {
+	for _, shards := range []int{2, 3, 4, 8} {
+		r := NewRing(shards, 0)
+		counts := make([]int, shards)
+		const keys = 10000
+		for id := 1; id <= keys; id++ {
+			s := r.Route(uint64(id))
+			if s < 0 || s >= shards {
+				t.Fatalf("Route(%d) = %d, out of range [0,%d)", id, s, shards)
+			}
+			counts[s]++
+		}
+		mean := keys / shards
+		for s, n := range counts {
+			if n == 0 {
+				t.Errorf("shards=%d: fabric %d owns no keys", shards, s)
+			}
+			if n > 2*mean {
+				t.Errorf("shards=%d: fabric %d owns %d keys, > 2x mean %d", shards, s, n, mean)
+			}
+		}
+	}
+}
+
+// TestRouteDeterministic: the ring is a pure function of (shards,
+// replicas) — two rings agree on every key, and repeated lookups are
+// stable. Owner() depends on this to re-derive placement from the ID.
+func TestRouteDeterministic(t *testing.T) {
+	a, b := NewRing(4, 64), NewRing(4, 64)
+	for id := 1; id <= 1000; id++ {
+		if a.Route(uint64(id)) != b.Route(uint64(id)) {
+			t.Fatalf("rings disagree on key %d", id)
+		}
+	}
+}
+
+// TestRouteConsistency: growing the ring by one fabric moves only the
+// keys the new fabric gains — about 1/(N+1) of them — not the wholesale
+// reshuffle modulo hashing would cause. This is what keeps most coflow
+// IDs resolvable by hash alone across a reshard.
+func TestRouteConsistency(t *testing.T) {
+	before, after := NewRing(4, 0), NewRing(5, 0)
+	const keys = 10000
+	moved := 0
+	for id := 1; id <= keys; id++ {
+		b, a := before.Route(uint64(id)), after.Route(uint64(id))
+		if b != a {
+			moved++
+			if a != 4 {
+				t.Errorf("key %d moved fabric %d -> %d, not to the new fabric", id, b, a)
+			}
+		}
+	}
+	// Ideal is keys/5 = 2000; allow generous slack but stay far from
+	// the (N-1)/N = 8000 a modulo scheme would move.
+	if moved > 2*keys/5 {
+		t.Errorf("%d/%d keys moved adding a 5th fabric, want about %d", moved, keys, keys/5)
+	}
+}
+
+func TestNewRingRejectsBadShards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRing(0, 0) did not panic")
+		}
+	}()
+	NewRing(0, 0)
+}
+
+// TestRouteDoesNotAllocate: Route sits on the ingest hot path and is
+// //coflow:allocfree — one mix and a binary search over a fixed slice.
+func TestRouteDoesNotAllocate(t *testing.T) {
+	r := NewRing(8, 0)
+	key := uint64(0)
+	if avg := testing.AllocsPerRun(200, func() {
+		key++
+		r.Route(key)
+	}); avg != 0 {
+		t.Errorf("Route allocates %.1f times per op, want 0", avg)
+	}
+}
