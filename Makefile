@@ -57,9 +57,9 @@ loadtest:
 # Tracked perf benchmarks, compare-only: runs the per-slot pipeline
 # (Step) and BvN decomposition benches 3×, joins the per-benchmark
 # minimum (noise only adds time) against the rolling baseline in
-# bench/baseline.txt, emits BENCH_PR4.json, and FAILS if any Step
-# benchmark is more than MAXREGRESS percent slower in ns/op (or
-# allocates where the baseline did not). The default budget of 20%
+# bench/baseline.txt, emits $(BENCHOUT), and FAILS if any Step or
+# Decompose benchmark is more than MAXREGRESS percent slower in ns/op
+# (or allocates where the baseline did not). The default budget of 20%
 # absorbs the run-to-run drift of shared/virtualized machines
 # (observed up to ~18% on identical binaries); on an idle dedicated
 # box tighten it: `make bench MAXREGRESS=5`. The run itself is never
@@ -68,11 +68,11 @@ loadtest:
 # pre-optimization record the PR 2 speedup numbers in EXPERIMENTS.md
 # are measured against.) The JSON report lands in $(BENCHOUT).
 MAXREGRESS ?= 20
-BENCHOUT ?= BENCH_PR5.json
+BENCHOUT ?= BENCH_PR7.json
 bench:
 	go test -bench='^(BenchmarkStep|BenchmarkDecompose)' -benchmem -benchtime=1s -count=3 -run='^$$' \
 		./internal/online/ ./internal/bvn/ > bench/latest.txt
-	go run ./cmd/benchjson -old bench/baseline.txt -gate Step -maxregress $(MAXREGRESS) \
+	go run ./cmd/benchjson -old bench/baseline.txt -gate Step,Decompose -maxregress $(MAXREGRESS) \
 		< bench/latest.txt > $(BENCHOUT)
 
 # Rotate the rolling baseline the bench gate compares against. Run on

@@ -14,9 +14,10 @@
 // benchmark present in both runs.
 //
 // With -gate, benchjson is also a regression gate: after writing the
-// JSON it exits 1 if any benchmark whose name contains the -gate
-// substring is more than -maxregress percent slower (ns/op) than the
-// baseline, or allocates more per op than the baseline did. This is
+// JSON it exits 1 if any benchmark whose name contains one of the
+// -gate substrings (comma-separated, e.g. -gate Step,Decompose) is
+// more than -maxregress percent slower (ns/op) than the baseline, or
+// allocates more per op than the baseline did. This is
 // what `make bench` (and through it `make check`) runs against the
 // rolling baseline in bench/baseline.txt; rotate the baseline with
 // `make bench-baseline` after an intentional perf change.
@@ -62,7 +63,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	oldPath := flag.String("old", "", "baseline bench output to join against (text format)")
-	gate := flag.String("gate", "", "fail if a benchmark whose name contains this substring regressed vs -old")
+	gate := flag.String("gate", "", "fail if a benchmark whose name contains one of these comma-separated substrings regressed vs -old")
 	maxRegress := flag.Float64("maxregress", 5, "allowed ns/op regression percent for -gate benchmarks")
 	flag.Parse()
 
@@ -130,11 +131,13 @@ func dedupeMin(doc *Doc) {
 // checkGate returns one message per gated benchmark that regressed:
 // ns/op beyond the allowed percentage, or any allocs/op increase
 // (the zero-alloc steady state is part of the pipeline's contract).
-// Benchmarks absent from the baseline are not gated.
+// gate is a comma-separated list of name substrings; benchmarks
+// matching none of them, or absent from the baseline, are not gated.
 func checkGate(doc *Doc, gate string, maxRegress float64) []string {
+	gates := strings.Split(gate, ",")
 	var fails []string
 	for _, r := range doc.Benchmarks {
-		if !strings.Contains(r.Name, gate) || r.OldNsPerOp <= 0 {
+		if !matchesGate(r.Name, gates) || r.OldNsPerOp <= 0 {
 			continue
 		}
 		if limit := r.OldNsPerOp * (1 + maxRegress/100); r.NsPerOp > limit {
@@ -147,6 +150,18 @@ func checkGate(doc *Doc, gate string, maxRegress float64) []string {
 		}
 	}
 	return fails
+}
+
+// matchesGate reports whether name contains any of the gate
+// substrings (empty substrings, e.g. from a trailing comma, never
+// match — an all-empty list gates nothing rather than everything).
+func matchesGate(name string, gates []string) bool {
+	for _, g := range gates {
+		if g != "" && strings.Contains(name, g) {
+			return true
+		}
+	}
+	return false
 }
 
 // key identifies a benchmark across runs: package plus name with any

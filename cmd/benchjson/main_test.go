@@ -92,6 +92,27 @@ func TestGateCatchesAllocRegression(t *testing.T) {
 	}
 }
 
+func TestGateCommaSeparatedSubstrings(t *testing.T) {
+	// Decompose regressed hard (5e6 vs 9e6 is an improvement; force a
+	// regression) — a Step-only gate misses it, Step,Decompose catches
+	// it.
+	doc := parsedPair(t)
+	doc.Benchmarks[2].NsPerOp = 99e6
+	if fails := checkGate(doc, "Step", 6); len(fails) != 0 {
+		t.Errorf("Step-only gate flagged Decompose: %v", fails)
+	}
+	fails := checkGate(doc, "Step,Decompose", 6)
+	if len(fails) != 1 || !strings.Contains(fails[0], "DecomposeM50Dense") {
+		t.Errorf("gate fails = %v, want one DecomposeM50Dense failure", fails)
+	}
+	// A trailing comma (empty substring) must not gate everything.
+	doc.Benchmarks[2].NsPerOp = 5e6
+	doc.Benchmarks[1].NsPerOp = 99 // NoopTick regression, outside both gates
+	if fails := checkGate(doc, "Decompose,", 6); len(fails) != 0 {
+		t.Errorf("empty gate substring matched: %v", fails)
+	}
+}
+
 func TestGateIgnoresUnmatchedAndUngated(t *testing.T) {
 	doc := parsedPair(t)
 	// Decompose regressed allocs-wise? No — it improved; but even a

@@ -10,6 +10,13 @@
 //	        [-shards 1] [-fabric 50,50,100] [-deadline 0]
 //	        [-max-body 1048576] [-window 1024] [-snapshot state.json]
 //	        [-pprof localhost:6060] [-selfcheck] [-selfcheck-every 8]
+//	        [-plan]
+//
+// -plan maintains a live Birkhoff–von Neumann plan of each fabric's
+// aggregate backlog alongside the greedy tick (an online.Planner over
+// the reusable bvn.Decomposer, repaired incrementally as slots drain).
+// Its ρ — the optimal number of slots to clear the backlog — and term
+// count surface in GET /v1/metrics.
 //
 // -shards N runs N independent switch fabrics (each its own
 // single-writer scheduling loop, metrics registry and self-check
@@ -74,6 +81,7 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "maximum request body size in bytes")
 	window := flag.Int("window", 1024, "rolling window size for latency and slowdown summaries")
 	snapshot := flag.String("snapshot", "", "write the final state snapshot(s) to this file on shutdown")
+	plan := flag.Bool("plan", false, "maintain a live BvN plan of each fabric's backlog (optimal clearing time in /v1/metrics)")
 	selfCheck := flag.Bool("selfcheck", false, "run the invariant monitor in each tick loop (violations surface in /v1/metrics)")
 	selfCheckEvery := flag.Int("selfcheck-every", 8, "with -selfcheck, validate every k-th tick (1 = every tick)")
 	drain := flag.Duration("drain", 5*time.Second, "maximum time to wait for in-flight requests on shutdown")
@@ -107,6 +115,7 @@ func main() {
 			SnapshotPath:   *snapshot,
 			SelfCheck:      *selfCheck,
 			SelfCheckEvery: *selfCheckEvery,
+			Plan:           *plan,
 		},
 	}
 	if *fabricSpec != "" {

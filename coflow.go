@@ -154,6 +154,19 @@ type Decomposition = bvn.Decomposition
 // (Lemma 4), which is optimal for a coflow alone in the network.
 func Decompose(d *Matrix) (*Decomposition, error) { return bvn.Decompose(d) }
 
+// Decomposer is the reusable, zero-allocation engine behind Decompose
+// for a fixed port count: it owns all scratch (working matrix,
+// warm-started matcher, recycled permutation buffers) across calls,
+// and its Update method repairs the previous result incrementally
+// after demand shrinks instead of rerunning Algorithm 1. Results alias
+// its recycled storage; see the type's documentation.
+type Decomposer = bvn.Decomposer
+
+// NewDecomposer returns a Decomposer for m×m demand matrices. Callers
+// that decompose repeatedly (schedulers, simulators) should hold one
+// per switch instead of calling Decompose in a loop.
+func NewDecomposer(m int) *Decomposer { return bvn.NewDecomposer(m) }
+
 // TraceConfig parameterizes the synthetic Facebook-like workload
 // generator.
 type TraceConfig = trace.Config

@@ -16,7 +16,6 @@ package bvn
 import (
 	"fmt"
 
-	"coflow/internal/matching"
 	"coflow/internal/matrix"
 )
 
@@ -33,102 +32,215 @@ type Decomposition struct {
 	Load int64
 	// Terms are the weighted permutations, in extraction order.
 	Terms []Term
-	// Augmented is D̃, the matrix the terms sum to exactly.
-	Augmented *matrix.Matrix
+	// m is the matrix dimension, kept for lazy D̃ reconstruction.
+	m int
+	// augmented caches the lazily reconstructed D̃ (see Augmented).
+	augmented *matrix.Matrix
+}
+
+// Augmented returns D̃, the balanced matrix the terms sum to exactly.
+// It is reconstructed lazily from the terms on first call and cached,
+// so decompositions that never inspect D̃ — the common scheduling
+// path — skip the O(m²) copy entirely.
+func (dec *Decomposition) Augmented() *matrix.Matrix {
+	if dec.augmented == nil {
+		dec.augmented = dec.Sum(dec.m)
+	}
+	return dec.augmented
+}
+
+// augHeap is a lazy min-heap of (row/column sum snapshot, index)
+// pairs driving Augment's min-deficit selection. Entries are never
+// updated in place: a sum change simply pushes a fresh pair, and
+// stale pairs (snapshot ≠ current sum) are dropped when popped.
+type augHeap struct {
+	sum []int64
+	idx []int32
+}
+
+//coflow:allocfree
+func (h *augHeap) reset() {
+	h.sum = h.sum[:0]
+	h.idx = h.idx[:0]
+}
+
+//coflow:allocfree
+func (h *augHeap) push(sum int64, idx int32) {
+	h.sum = append(h.sum, sum)
+	h.idx = append(h.idx, idx)
+	i := len(h.sum) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.sum[p] <= h.sum[i] {
+			break
+		}
+		h.sum[p], h.sum[i] = h.sum[i], h.sum[p]
+		h.idx[p], h.idx[i] = h.idx[i], h.idx[p]
+		i = p
+	}
+}
+
+//coflow:allocfree
+func (h *augHeap) pop() (int64, int32) {
+	s, x := h.sum[0], h.idx[0]
+	last := len(h.sum) - 1
+	h.sum[0], h.idx[0] = h.sum[last], h.idx[last]
+	h.sum, h.idx = h.sum[:last], h.idx[:last]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= last {
+			break
+		}
+		if r := c + 1; r < last && h.sum[r] < h.sum[c] {
+			c = r
+		}
+		if h.sum[i] <= h.sum[c] {
+			break
+		}
+		h.sum[i], h.sum[c] = h.sum[c], h.sum[i]
+		h.idx[i], h.idx[c] = h.idx[c], h.idx[i]
+		i = c
+	}
+	return s, x
+}
+
+// popDeficit pops until a fresh, unsaturated index surfaces: stale
+// snapshots and sums already at ρ are discarded. It reports false
+// when every remaining index is saturated.
+//
+//coflow:allocfree
+func (h *augHeap) popDeficit(cur []int64, rho int64) (int32, bool) {
+	for len(h.sum) > 0 {
+		s, x := h.pop()
+		if cur[x] == s && s < rho {
+			return x, true
+		}
+	}
+	return -1, false
+}
+
+// augScratch owns the reusable buffers of one augmentation run: the
+// row/column sum vectors and the two deficit min-heaps. The zero
+// value is ready after grow.
+type augScratch struct {
+	rows, cols       []int64
+	rowHeap, colHeap augHeap
+}
+
+// grow (re)sizes the scratch for m×m inputs, reallocating only when
+// the capacity is insufficient.
+func (a *augScratch) grow(m int) {
+	if cap(a.rows) < m {
+		a.rows = make([]int64, m)
+		a.cols = make([]int64, m)
+		// Per heap: m initial pushes + one push per augmentation step
+		// (≤ 2m−1 steps), so 3m capacity never reallocates.
+		a.rowHeap.sum = make([]int64, 0, 3*m)
+		a.rowHeap.idx = make([]int32, 0, 3*m)
+		a.colHeap.sum = make([]int64, 0, 3*m)
+		a.colHeap.idx = make([]int32, 0, 3*m)
+	}
+	a.rows = a.rows[:m]
+	a.cols = a.cols[:m]
+}
+
+// augmentInto performs Step 1 of Algorithm 1 in place on dst (which
+// already holds D) and returns ρ(D). Each step raises the entry at
+// the (min row sum, min column sum) pair — found in O(log m) via the
+// deficit heaps instead of the former O(m) scan — and saturates at
+// least one of the two, so at most 2m−1 steps run.
+//
+//coflow:allocfree
+func (a *augScratch) augmentInto(dst *matrix.Matrix) int64 {
+	m := dst.Rows()
+	rows := dst.RowSumsInto(a.rows)
+	cols := dst.ColSumsInto(a.cols)
+	var rho int64
+	for i := range rows {
+		if rows[i] > rho {
+			rho = rows[i]
+		}
+		if cols[i] > rho {
+			rho = cols[i]
+		}
+	}
+	if rho == 0 {
+		return 0
+	}
+	a.rowHeap.reset()
+	a.colHeap.reset()
+	for i := 0; i < m; i++ {
+		if rows[i] < rho {
+			a.rowHeap.push(rows[i], int32(i))
+		}
+		if cols[i] < rho {
+			a.colHeap.push(cols[i], int32(i))
+		}
+	}
+	for iter := 0; iter <= 2*m; iter++ {
+		i, okR := a.rowHeap.popDeficit(rows, rho)
+		j, okC := a.colHeap.popDeficit(cols, rho)
+		if !okR || !okC {
+			if okR != okC {
+				// Σ row deficits always equals Σ column deficits, so
+				// one side cannot drain before the other.
+				panic("bvn: augment deficit imbalance (invariant violated)")
+			}
+			return rho
+		}
+		p := rho - rows[i]
+		if c := rho - cols[j]; c < p {
+			p = c
+		}
+		dst.Add(int(i), int(j), p)
+		rows[i] += p
+		cols[j] += p
+		if rows[i] < rho {
+			a.rowHeap.push(rows[i], i)
+		}
+		if cols[j] < rho {
+			a.colHeap.push(cols[j], j)
+		}
+	}
+	panic("bvn: Augment did not converge in 2m+1 iterations (invariant violated)")
 }
 
 // Augment performs Step 1 of Algorithm 1: it returns a copy of d with
 // entries increased until every row and column sums to ρ(d). The input
 // is not modified. A zero matrix is returned unchanged.
 func Augment(d *matrix.Matrix) *matrix.Matrix {
+	return AugmentInto(d.Clone(), d)
+}
+
+// AugmentInto is Augment writing into caller-owned storage: dst is
+// overwritten with d and augmented in place (dst == d augments d
+// itself). It returns dst. Reused across calls, the only remaining
+// per-call cost is the scratch below, which a Decomposer amortizes
+// away entirely.
+func AugmentInto(dst, d *matrix.Matrix) *matrix.Matrix {
 	if d.Rows() != d.Cols() {
 		panic(fmt.Sprintf("bvn: Augment needs a square matrix, got %d×%d", d.Rows(), d.Cols()))
 	}
-	m := d.Rows()
-	rho := d.Load()
-	out := d.Clone()
-	if rho == 0 {
-		return out
+	if dst != d {
+		dst.CopyFrom(d)
 	}
-	rows := out.RowSums()
-	cols := out.ColSums()
-	// Each step saturates at least one row or column, so at most 2m−1
-	// iterations run before every sum equals ρ.
-	for iter := 0; iter <= 2*m; iter++ {
-		iMin, jMin := 0, 0
-		for i := 1; i < m; i++ {
-			if rows[i] < rows[iMin] {
-				iMin = i
-			}
-			if cols[i] < cols[jMin] {
-				jMin = i
-			}
-		}
-		if rows[iMin] == rho && cols[jMin] == rho {
-			return out
-		}
-		p := rho - rows[iMin]
-		if c := rho - cols[jMin]; c < p {
-			p = c
-		}
-		out.Add(iMin, jMin, p)
-		rows[iMin] += p
-		cols[jMin] += p
-	}
-	panic("bvn: Augment did not converge in 2m+1 iterations (invariant violated)")
+	var a augScratch
+	a.grow(d.Rows())
+	a.augmentInto(dst)
+	return dst
 }
 
 // Decompose runs Algorithm 1 on d and returns the full decomposition.
 // It errors only if an internal invariant is violated (a balanced
 // matrix whose support has no perfect matching), which cannot happen
 // for valid inputs.
+//
+// This is the one-shot convenience form: it builds a throwaway
+// Decomposer per call. Repeated callers (the slot pipeline) should
+// hold a Decomposer, whose steady-state calls are allocation-free.
 func Decompose(d *matrix.Matrix) (*Decomposition, error) {
-	decSpan := pkgObs.DecomposeSeconds.Start()
-	defer decSpan.End()
-	augSpan := pkgObs.AugmentSeconds.Start()
-	aug := Augment(d)
-	augSpan.End()
-	dec := &Decomposition{Load: d.Load(), Augmented: aug.Clone()}
-	work := aug
-	m := d.Rows()
-	maxTerms := m*m + 1
-	// Subtracting q·Π only shrinks the support, and only along matched
-	// entries, so each extraction warm-starts from the previous
-	// matching minus its zeroed edges: most iterations repair with a
-	// handful of augmenting paths instead of a cold O(E·√V) solve.
-	matcher := matching.NewMatcher(m)
-	matcher.SetObs(pkgObs.Matcher)
-	for !work.IsZero() {
-		if len(dec.Terms) >= maxTerms {
-			return nil, fmt.Errorf("bvn: more than m²=%d terms extracted; invariant violated", m*m)
-		}
-		exSpan := pkgObs.ExtractSeconds.Start()
-		perm, err := matcher.PerfectOnSupport(work)
-		if err != nil {
-			exSpan.End()
-			return nil, fmt.Errorf("bvn: %w", err)
-		}
-		// q = min entry along the matching: subtracting q·Π zeroes at
-		// least one support entry, bounding the number of terms by m².
-		var q int64 = -1
-		for i, j := range perm.To {
-			if v := work.At(i, j); q < 0 || v < q {
-				q = v
-			}
-		}
-		if q <= 0 {
-			exSpan.End()
-			return nil, fmt.Errorf("bvn: non-positive multiplicity %d; invariant violated", q)
-		}
-		for i, j := range perm.To {
-			work.Add(i, j, -q)
-		}
-		dec.Terms = append(dec.Terms, Term{Count: q, Perm: perm})
-		exSpan.End()
-	}
-	pkgObs.Decomposes.Inc()
-	pkgObs.Terms.Add(int64(len(dec.Terms)))
-	return dec, nil
+	return DecomposeWith(d, StrategyFirst)
 }
 
 // MustDecompose is Decompose that panics on error. The error paths are
@@ -151,7 +263,7 @@ func (d *Decomposition) TotalSlots() int64 {
 	return s
 }
 
-// Sum reconstructs Σ q_u·Π_u as a matrix (equal to Augmented).
+// Sum reconstructs Σ q_u·Π_u as a matrix (equal to Augmented()).
 func (d *Decomposition) Sum(m int) *matrix.Matrix {
 	out := matrix.NewSquare(m)
 	for _, t := range d.Terms {
@@ -165,9 +277,11 @@ func (d *Decomposition) Sum(m int) *matrix.Matrix {
 }
 
 // Verify checks every invariant of Lemma 4 against the original matrix
-// d: the terms are perfect matchings, Σ q_u = ρ(d), the term sum
-// equals the augmented matrix, and the augmented matrix dominates d
-// with all row/column sums equal to ρ(d). It returns the first
+// d: the terms are perfect matchings with positive counts, Σ q_u =
+// ρ(d), and the term sum Σ q_u·Π_u dominates d with all row/column
+// sums equal to ρ(d). Together these certify the terms as a valid
+// ρ(d)-slot schedule for d, independent of how they were produced
+// (cold Algorithm 1 or an incremental Update). It returns the first
 // violation found, or nil.
 func (dec *Decomposition) Verify(d *matrix.Matrix) error {
 	m := d.Rows()
@@ -188,19 +302,17 @@ func (dec *Decomposition) Verify(d *matrix.Matrix) error {
 			return fmt.Errorf("bvn: term %d is not a perfect matching", u)
 		}
 	}
-	if !dec.Sum(m).Equal(dec.Augmented) {
-		return fmt.Errorf("bvn: term sum differs from augmented matrix")
-	}
-	if !dec.Augmented.GE(d) {
-		return fmt.Errorf("bvn: augmented matrix does not dominate D")
+	sum := dec.Sum(m)
+	if !sum.GE(d) {
+		return fmt.Errorf("bvn: term sum does not dominate D")
 	}
 	if dec.Load > 0 {
 		for i := 0; i < m; i++ {
-			if rs := dec.Augmented.RowSum(i); rs != dec.Load {
-				return fmt.Errorf("bvn: augmented row %d sums to %d, want %d", i, rs, dec.Load)
+			if rs := sum.RowSum(i); rs != dec.Load {
+				return fmt.Errorf("bvn: term-sum row %d sums to %d, want %d", i, rs, dec.Load)
 			}
-			if cs := dec.Augmented.ColSum(i); cs != dec.Load {
-				return fmt.Errorf("bvn: augmented col %d sums to %d, want %d", i, cs, dec.Load)
+			if cs := sum.ColSum(i); cs != dec.Load {
+				return fmt.Errorf("bvn: term-sum col %d sums to %d, want %d", i, cs, dec.Load)
 			}
 		}
 	}

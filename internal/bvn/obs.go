@@ -20,13 +20,39 @@ type Obs struct {
 	DecomposeSeconds *obs.Histogram
 	AugmentSeconds   *obs.Histogram
 	ExtractSeconds   *obs.Histogram
+	UpdateSeconds    *obs.Histogram
 
 	Decomposes *obs.Counter
 	Terms      *obs.Counter
 
+	// Term-buffer pool effectiveness of the reusable Decomposer:
+	// TermReuses counts extractions served from the recycled
+	// permutation-buffer pool, TermAllocs the pool-growth allocations.
+	// Their ratio is the term-reuse hit rate; a warm Decomposer sits at
+	// 100% reuse (the 0 allocs/op steady state).
+	TermReuses *obs.Counter
+	TermAllocs *obs.Counter
+
+	// Incremental-mode effectiveness: Updates counts Decomposer.Update
+	// calls, UpdateFallbacks the ones whose greedy term repair could
+	// not shed the full load delta and fell back to a cold
+	// recomputation of Algorithm 1.
+	Updates         *obs.Counter
+	UpdateFallbacks *obs.Counter
+
 	// Matcher is threaded into every decomposition's warm-started
 	// Hopcroft–Karp engine, exposing its warm-start hit rate.
 	Matcher matching.Obs
+}
+
+// TermReuseHitRate returns TermReuses / (TermReuses + TermAllocs), or
+// 0 before any extraction.
+func (o *Obs) TermReuseHitRate() float64 {
+	r, a := o.TermReuses.Value(), o.TermAllocs.Value()
+	if r+a == 0 {
+		return 0
+	}
+	return float64(r) / float64(r+a)
 }
 
 // pkgObs is the installed hooks; the zero value disables them.
@@ -37,6 +63,11 @@ var pkgObs Obs
 // zero Obs restores the disabled default.
 func SetObs(o Obs) { pkgObs = o }
 
+// DefaultObs returns the package-wide instrumentation installed by
+// SetObs (the zero Obs when none is installed). Decomposer holders
+// that want the package default pass it to Decomposer.SetObs.
+func DefaultObs() Obs { return pkgObs }
+
 // NewObs registers the decomposition metrics on r (prefix coflow_bvn_)
 // and returns the wired Obs, including matcher warm-start counters. A
 // nil registry yields the zero Obs.
@@ -45,8 +76,13 @@ func NewObs(r *obs.Registry) Obs {
 		DecomposeSeconds: r.Histogram("coflow_bvn_decompose_seconds", "latency of one Birkhoff-von Neumann decomposition", obs.LatencyBuckets),
 		AugmentSeconds:   r.Histogram("coflow_bvn_augment_seconds", "latency of the augmentation stage (step 1)", obs.LatencyBuckets),
 		ExtractSeconds:   r.Histogram("coflow_bvn_extract_seconds", "latency of one matching extraction (step 2 iteration)", obs.LatencyBuckets),
+		UpdateSeconds:    r.Histogram("coflow_bvn_update_seconds", "latency of one incremental Decomposer.Update repair", obs.LatencyBuckets),
 		Decomposes:       r.Counter("coflow_bvn_decompositions_total", "decompositions run"),
 		Terms:            r.Counter("coflow_bvn_terms_total", "permutation terms extracted"),
+		TermReuses:       r.Counter("coflow_bvn_term_buffer_reuses_total", "extractions served from the recycled permutation-buffer pool"),
+		TermAllocs:       r.Counter("coflow_bvn_term_buffer_allocs_total", "permutation-buffer pool growth allocations"),
+		Updates:          r.Counter("coflow_bvn_updates_total", "incremental Decomposer.Update calls"),
+		UpdateFallbacks:  r.Counter("coflow_bvn_update_fallbacks_total", "Update calls that fell back to a cold decomposition"),
 		Matcher:          matching.NewObs(r),
 	}
 }

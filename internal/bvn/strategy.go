@@ -2,9 +2,7 @@ package bvn
 
 import (
 	"fmt"
-	"sort"
 
-	"coflow/internal/matching"
 	"coflow/internal/matrix"
 )
 
@@ -36,98 +34,13 @@ func (s Strategy) String() string {
 }
 
 // DecomposeWith runs Algorithm 1 using the given extraction strategy.
+//
+// This is the one-shot convenience form: it builds a throwaway
+// Decomposer per call. Repeated callers (the slot pipeline) should
+// hold a Decomposer, whose steady-state calls are allocation-free and
+// whose bottleneck probes reuse one warm matcher across terms.
 func DecomposeWith(d *matrix.Matrix, strategy Strategy) (*Decomposition, error) {
-	if strategy == StrategyFirst {
-		return Decompose(d)
-	}
-	decSpan := pkgObs.DecomposeSeconds.Start()
-	defer decSpan.End()
-	augSpan := pkgObs.AugmentSeconds.Start()
-	aug := Augment(d)
-	augSpan.End()
-	dec := &Decomposition{Load: d.Load(), Augmented: aug.Clone()}
-	work := aug
-	m := d.Rows()
-	maxTerms := m*m + 1
-	// One warm-started matcher serves every threshold probe of every
-	// term: each probe repairs the previous probe's matching against
-	// the new threshold graph instead of solving cold (correct for any
-	// edge-set change, fastest when supports shrink monotonically).
-	matcher := matching.NewMatcher(m)
-	matcher.SetObs(pkgObs.Matcher)
-	for !work.IsZero() {
-		if len(dec.Terms) >= maxTerms {
-			return nil, fmt.Errorf("bvn: more than m²=%d terms extracted; invariant violated", m*m)
-		}
-		exSpan := pkgObs.ExtractSeconds.Start()
-		perm, err := bottleneckMatching(work, matcher)
-		if err != nil {
-			exSpan.End()
-			return nil, fmt.Errorf("bvn: %w", err)
-		}
-		var q int64 = -1
-		for i, j := range perm.To {
-			if v := work.At(i, j); q < 0 || v < q {
-				q = v
-			}
-		}
-		if q <= 0 {
-			exSpan.End()
-			return nil, fmt.Errorf("bvn: non-positive multiplicity %d; invariant violated", q)
-		}
-		for i, j := range perm.To {
-			work.Add(i, j, -q)
-		}
-		dec.Terms = append(dec.Terms, Term{Count: q, Perm: perm})
-		exSpan.End()
-	}
-	pkgObs.Decomposes.Inc()
-	pkgObs.Terms.Add(int64(len(dec.Terms)))
-	return dec, nil
-}
-
-// bottleneckMatching finds a perfect matching maximizing the minimum
-// matrix entry along it: binary search the threshold θ over the
-// distinct positive entries, keeping the largest θ whose ≥θ-support
-// still admits a perfect matching. Every probe runs on the shared
-// warm-started matcher.
-func bottleneckMatching(work *matrix.Matrix, matcher *matching.Matcher) (matrix.Permutation, error) {
-	m := work.Rows()
-	// Collect distinct positive entry values.
-	seen := map[int64]bool{}
-	for i := 0; i < m; i++ {
-		for j := 0; j < m; j++ {
-			if v := work.At(i, j); v > 0 {
-				seen[v] = true
-			}
-		}
-	}
-	if len(seen) == 0 {
-		return matrix.Permutation{}, fmt.Errorf("bottleneck matching on zero matrix")
-	}
-	values := make([]int64, 0, len(seen))
-	for v := range seen {
-		values = append(values, v)
-	}
-	sort.Slice(values, func(a, b int) bool { return values[a] < values[b] })
-
-	// The smallest positive value always works (full support of a
-	// balanced matrix). Binary search the largest workable value.
-	lo, hi := 0, len(values)-1 // indices into values; lo is feasible
-	var best matrix.Permutation
-	if p := matcher.MatchSupportAtLeast(work, values[lo]); p.IsPerfect() {
-		best = p
-	} else {
-		return matrix.Permutation{}, fmt.Errorf("support admits no perfect matching")
-	}
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if p := matcher.MatchSupportAtLeast(work, values[mid]); p.IsPerfect() {
-			best = p
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
-	}
-	return best, nil
+	dc := NewDecomposer(d.Rows())
+	dc.SetObs(pkgObs)
+	return dc.DecomposeWith(d, strategy)
 }

@@ -81,6 +81,13 @@ type Config struct {
 	// (bookkeeping still runs every tick, so sampling stays sound);
 	// zero means 8, 1 validates every tick.
 	SelfCheckEvery int
+	// Plan maintains a live Birkhoff–von Neumann plan of the aggregate
+	// backlog alongside the greedy tick (online.Planner backed by
+	// bvn.Decomposer): cold decomposition on registration, incremental
+	// Update repair on served slots. Its ρ and term count surface in
+	// /v1/metrics as the optimal-clearing-time reference the greedy
+	// schedule is compared against. Off by default.
+	Plan bool
 }
 
 // CoflowStatus is the externally visible state of one coflow.
@@ -136,6 +143,22 @@ type Metrics struct {
 	// MatcherWarmStartHitRate is the fraction of serving steps resolved
 	// by replaying the previous slot's matching instead of a full scan.
 	MatcherWarmStartHitRate float64 `json:"matcher_warm_start_hit_rate"`
+	// Plan reports whether the BvN planner runs alongside the tick.
+	Plan bool `json:"plan"`
+	// PlanLoad is ρ(D) of the current aggregate backlog — the optimal
+	// number of slots to clear it — from the most recent plan.
+	PlanLoad int64 `json:"plan_load,omitempty"`
+	// PlanTerms is the number of permutation terms in the current plan.
+	PlanTerms int `json:"plan_terms,omitempty"`
+	// PlanUpdates counts incremental plan repairs; PlanFallbacks the
+	// ones that had to fall back to a cold decomposition.
+	PlanUpdates   int64 `json:"plan_updates,omitempty"`
+	PlanFallbacks int64 `json:"plan_fallbacks,omitempty"`
+	// PlanTermReuseHitRate is the fraction of term extractions served
+	// from the recycled permutation-buffer pool (1.0 once warm).
+	PlanTermReuseHitRate float64 `json:"plan_term_reuse_hit_rate,omitempty"`
+	// PlanError records the error that disabled the planner, if any.
+	PlanError string `json:"plan_error,omitempty"`
 	// SelfCheck reports whether the invariant monitor is enabled.
 	SelfCheck bool `json:"self_check"`
 	// SelfCheckViolations counts invariant violations the monitor has
@@ -439,6 +462,24 @@ func (d *Daemon) loop() {
 		mon = check.NewMonitor(d.cfg.Ports)
 	}
 
+	// Optional BvN planner (see Config.Plan): a live decomposition of
+	// the aggregate backlog, repaired incrementally as slots drain. A
+	// planner error means the daemon's conservation bookkeeping is
+	// broken; the planner disables itself and records why rather than
+	// failing every subsequent tick.
+	var (
+		planner *online.Planner
+		planErr string
+	)
+	if d.cfg.Plan {
+		planner = online.NewPlanner(d.cfg.Ports)
+		planner.SetObs(d.obs.plan)
+	}
+	planFail := func(err error) {
+		planErr = err.Error()
+		planner = nil
+	}
+
 	// The rolling-window summaries only change on ticks and
 	// completions; register/cancel-heavy bursts reuse the cached
 	// copies instead of re-sorting four windows per publish.
@@ -552,6 +593,17 @@ func (d *Daemon) loop() {
 			SelfCheckViolations: violations,
 			LastViolation:       lastViolation,
 		}
+		if d.cfg.Plan {
+			view.Metrics.Plan = true
+			view.Metrics.PlanError = planErr
+			if planner != nil {
+				view.Metrics.PlanLoad = planner.Load()
+				view.Metrics.PlanTerms = planner.Terms()
+				view.Metrics.PlanUpdates = d.obs.plan.Updates.Value()
+				view.Metrics.PlanFallbacks = d.obs.plan.UpdateFallbacks.Value()
+				view.Metrics.PlanTermReuseHitRate = d.obs.plan.TermReuseHitRate()
+			}
+		}
 		o := d.obs
 		o.slot.Set(float64(slot))
 		o.active.Set(float64(state.Len()))
@@ -623,8 +675,15 @@ func (d *Daemon) loop() {
 			if remaining == 0 {
 				// No demand: complete the moment it is released.
 				complete(ci, slot)
-			} else if mon != nil {
-				mon.Add(id, slot, cf.Flows)
+			} else {
+				if mon != nil {
+					mon.Add(id, slot, cf.Flows)
+				}
+				if planner != nil {
+					if err := planner.Add(cf.Flows); err != nil {
+						planFail(err)
+					}
+				}
 			}
 			return reply{id: id, release: slot}
 
@@ -662,6 +721,16 @@ func (d *Daemon) loop() {
 			for _, id := range res.Completed {
 				complete(coflows[id], slot)
 			}
+			if planner != nil {
+				// Feed the served matching into the live plan: demand only
+				// shrank, so this is the Decomposer's incremental Update
+				// (cold only when a registration landed since last tick).
+				if err := planner.Observe(res.Served); err != nil {
+					planFail(err)
+				} else if _, err := planner.Plan(); err != nil {
+					planFail(err)
+				}
+			}
 			if d.cfg.Deadline > 0 {
 				switch {
 				case elapsed > d.cfg.Deadline:
@@ -686,6 +755,13 @@ func (d *Daemon) loop() {
 			}
 			if ci.completed >= 0 {
 				return reply{err: fmt.Errorf("daemon: coflow %d already completed", c.cancel)}
+			}
+			if planner != nil {
+				// The unserved remainder must leave the plan too; read it
+				// before Remove discards it.
+				if err := planner.Shed(state.Demand(c.cancel)); err != nil {
+					planFail(err)
+				}
 			}
 			state.Remove(c.cancel)
 			if mon != nil {

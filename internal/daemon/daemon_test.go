@@ -343,3 +343,74 @@ func TestConcurrentRegistrationsAndReads(t *testing.T) {
 			m.Completed, m.Cancelled, m.Registered)
 	}
 }
+
+func TestPlanTracksBacklog(t *testing.T) {
+	d := newTestDaemon(t, Config{Ports: 2, Policy: online.SEBF, Plan: true})
+	if _, _, err := d.Register(&coflowmodel.Registration{
+		Flows: []coflowmodel.Flow{
+			{Src: 0, Dst: 0, Size: 1}, {Src: 0, Dst: 1, Size: 2},
+			{Src: 1, Dst: 0, Size: 2}, {Src: 1, Dst: 1, Size: 1},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The first tick runs the cold plan of the fresh backlog: ρ(D) = 3.
+	if err := d.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	m := d.Snapshot().Metrics
+	if !m.Plan || m.PlanError != "" {
+		t.Fatalf("plan metrics after first tick: %+v", m)
+	}
+	if m.PlanLoad <= 0 || m.PlanTerms <= 0 {
+		t.Fatalf("first plan: load %d, terms %d, want both positive", m.PlanLoad, m.PlanTerms)
+	}
+	// The greedy clears within 2ρ−1 slots; the plan must drain with it.
+	for slot := 0; slot < 5; slot++ {
+		if err := d.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m = d.Snapshot().Metrics
+	if m.Completed != 1 {
+		t.Fatalf("coflow not completed: %+v", m)
+	}
+	if m.PlanLoad != 0 || m.PlanTerms != 0 {
+		t.Fatalf("drained backlog still planned: load %d, terms %d", m.PlanLoad, m.PlanTerms)
+	}
+	if m.PlanUpdates == 0 {
+		t.Fatal("shrink-only ticks ran no incremental updates")
+	}
+	if m.PlanError != "" {
+		t.Fatalf("planner disabled: %s", m.PlanError)
+	}
+}
+
+func TestPlanShedsCancelledDemand(t *testing.T) {
+	d := newTestDaemon(t, Config{Ports: 2, Policy: online.SEBF, Plan: true})
+	id, _, err := d.Register(&coflowmodel.Registration{
+		Flows: []coflowmodel.Flow{{Src: 0, Dst: 1, Size: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Tick(); err != nil { // one unit served, plan primed
+		t.Fatal(err)
+	}
+	if m := d.Snapshot().Metrics; m.PlanLoad != 4 {
+		t.Fatalf("plan load after one served slot = %d, want 4", m.PlanLoad)
+	}
+	if err := d.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	m := d.Snapshot().Metrics
+	if m.PlanError != "" {
+		t.Fatalf("planner disabled by cancel: %s", m.PlanError)
+	}
+	if m.PlanLoad != 0 {
+		t.Fatalf("cancelled demand still planned: load %d", m.PlanLoad)
+	}
+}

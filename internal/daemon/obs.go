@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"coflow/internal/bvn"
 	"coflow/internal/obs"
 	"coflow/internal/online"
 )
@@ -16,6 +17,10 @@ import (
 type daemonObs struct {
 	reg  *obs.Registry
 	step online.Obs
+	// plan instruments the optional BvN planner (coflow_bvn_*): cold
+	// decompositions, incremental updates and their fallbacks, and the
+	// term-buffer pool hit rate. All zeros while Config.Plan is off.
+	plan bvn.Obs
 
 	ticks        *obs.Counter
 	tickSeconds  *obs.Histogram
@@ -45,6 +50,7 @@ func newDaemonObs() *daemonObs {
 	return &daemonObs{
 		reg:  r,
 		step: online.NewObs(r),
+		plan: bvn.NewObs(r),
 
 		ticks:        r.Counter("coflowd_ticks_total", "scheduler ticks processed"),
 		tickSeconds:  r.Histogram("coflowd_tick_seconds", "latency of one scheduling tick", obs.LatencyBuckets),

@@ -31,10 +31,28 @@ type Matcher struct {
 	matchL, matchR []int
 	dist           []int
 	queue          []int
-	// CSR adjacency of the current call, rebuilt (not reallocated)
-	// every call.
+	// Matcher-owned CSR adjacency, rebuilt (not reallocated) by the
+	// matrix/graph entry points (MatchSupportAtLeast, MatchGraph).
+	ownOff []int32
+	ownDat []int32
+	ownLen []int32
+
+	// Active adjacency view the search routines run on: row u's live
+	// neighbours are adjDat[adjOff[u] : adjOff[u]+adjLen[u]]. Either
+	// the own* buffers above, or a caller-installed view
+	// (SetAdjacency) that the caller mutates in place between calls.
 	adjOff []int32
+	adjLen []int32
 	adjDat []int32
+
+	// Kuhn scratch for single-row augmentation (AugmentRow): per
+	// right-vertex visit stamps, bumped per call so no O(n) clear runs.
+	mark  []int64
+	stamp int64
+
+	// matched is the live matching cardinality, maintained by every
+	// mutation so perfection checks are O(1).
+	matched int
 
 	// obs counts warm-start effectiveness (see Obs). The zero value
 	// is the disabled mode (nil-safe no-op counters).
@@ -87,18 +105,23 @@ func NewMatcher(n int) *Matcher {
 		matchR: make([]int, n),
 		dist:   make([]int, n),
 		queue:  make([]int, 0, n),
-		adjOff: make([]int32, n+1),
+		ownOff: make([]int32, n+1),
+		ownLen: make([]int32, n),
+		mark:   make([]int64, n),
 	}
 	mt.Reset()
 	return mt
 }
 
 // Reset forgets the warm matching; the next call runs cold.
+//
+//coflow:allocfree
 func (mt *Matcher) Reset() {
 	for i := range mt.matchL {
 		mt.matchL[i] = matrix.Unmatched
 		mt.matchR[i] = matrix.Unmatched
 	}
+	mt.matched = 0
 }
 
 // MatchSupport computes a maximum matching on the support graph of d
@@ -111,33 +134,68 @@ func (mt *Matcher) MatchSupport(d *matrix.Matrix) matrix.Permutation {
 // graph {(i,j) : d.At(i,j) >= theta} of a square matrix d,
 // warm-starting from the previous call. theta must be positive.
 func (mt *Matcher) MatchSupportAtLeast(d *matrix.Matrix, theta int64) matrix.Permutation {
+	mt.matchSupportAtLeast(d, theta)
+	return matrix.Permutation{To: append([]int(nil), mt.matchL...)}
+}
+
+// MatchSupportAtLeastInto is MatchSupportAtLeast writing the matching
+// into caller-owned dst (which must have length n): the
+// allocation-free form for reusable-scratch callers. Perfection is
+// checked allocation-free via MatchedCount() == n.
+//
+//coflow:allocfree
+func (mt *Matcher) MatchSupportAtLeastInto(dst []int, d *matrix.Matrix, theta int64) matrix.Permutation {
+	mt.matchSupportAtLeast(d, theta)
+	copy(dst, mt.matchL)
+	return matrix.Permutation{To: dst}
+}
+
+// matchSupportAtLeast solves the threshold-graph matching into the
+// matcher's own matchL/matchR state.
+//
+//coflow:allocfree
+func (mt *Matcher) matchSupportAtLeast(d *matrix.Matrix, theta int64) {
 	if d.Rows() != d.Cols() || d.Rows() != mt.n {
+		//lint:ignore allocfree the panic message formats once on a fatal size mismatch, never on the served path
 		panic(fmt.Sprintf("matching: matcher size %d, matrix %d×%d", mt.n, d.Rows(), d.Cols()))
 	}
 	if theta <= 0 {
+		//lint:ignore allocfree the panic message formats once on a fatal threshold misuse, never on the served path
 		panic(fmt.Sprintf("matching: non-positive threshold %d", theta))
 	}
 	n := mt.n
 	// Build CSR adjacency into the reusable buffers.
-	mt.adjDat = mt.adjDat[:0]
+	mt.ownDat = mt.ownDat[:0]
 	for i := 0; i < n; i++ {
-		mt.adjOff[i] = int32(len(mt.adjDat))
+		mt.ownOff[i] = int32(len(mt.ownDat))
 		for j := 0; j < n; j++ {
 			if d.At(i, j) >= theta {
-				mt.adjDat = append(mt.adjDat, int32(j))
+				mt.ownDat = append(mt.ownDat, int32(j))
 			}
 		}
+		mt.ownLen[i] = int32(len(mt.ownDat)) - mt.ownOff[i]
 	}
-	mt.adjOff[n] = int32(len(mt.adjDat))
+	mt.ownOff[n] = int32(len(mt.ownDat))
+	mt.useOwnAdj()
 	// Repair the warm matching: drop pairs whose edge disappeared.
 	for u := 0; u < n; u++ {
 		if v := mt.matchL[u]; v != matrix.Unmatched && d.At(u, v) < theta {
 			mt.matchL[u] = matrix.Unmatched
 			mt.matchR[v] = matrix.Unmatched
+			mt.matched--
 		}
 	}
 	mt.augmentToMax()
-	return matrix.Permutation{To: append([]int(nil), mt.matchL...)}
+}
+
+// useOwnAdj points the active adjacency view at the matcher-owned CSR
+// buffers built by the matrix/graph entry points.
+//
+//coflow:allocfree
+func (mt *Matcher) useOwnAdj() {
+	mt.adjOff = mt.ownOff
+	mt.adjLen = mt.ownLen
+	mt.adjDat = mt.ownDat
 }
 
 // MatchGraph computes a maximum matching of g, warm-starting from the
@@ -147,14 +205,16 @@ func (mt *Matcher) MatchGraph(g *Graph) matrix.Permutation {
 		panic(fmt.Sprintf("matching: matcher size %d, graph size %d", mt.n, g.N))
 	}
 	n := mt.n
-	mt.adjDat = mt.adjDat[:0]
+	mt.ownDat = mt.ownDat[:0]
 	for u := 0; u < n; u++ {
-		mt.adjOff[u] = int32(len(mt.adjDat))
+		mt.ownOff[u] = int32(len(mt.ownDat))
 		for _, v := range g.Adj[u] {
-			mt.adjDat = append(mt.adjDat, int32(v))
+			mt.ownDat = append(mt.ownDat, int32(v))
 		}
+		mt.ownLen[u] = int32(len(mt.ownDat)) - mt.ownOff[u]
 	}
-	mt.adjOff[n] = int32(len(mt.adjDat))
+	mt.ownOff[n] = int32(len(mt.ownDat))
+	mt.useOwnAdj()
 	for u := 0; u < n; u++ {
 		v := mt.matchL[u]
 		if v == matrix.Unmatched {
@@ -170,6 +230,7 @@ func (mt *Matcher) MatchGraph(g *Graph) matrix.Permutation {
 		if !present {
 			mt.matchL[u] = matrix.Unmatched
 			mt.matchR[v] = matrix.Unmatched
+			mt.matched--
 		}
 	}
 	mt.augmentToMax()
@@ -187,8 +248,9 @@ func (mt *Matcher) PerfectOnSupport(d *matrix.Matrix) (matrix.Permutation, error
 	return p, nil
 }
 
-// augmentToMax runs Hopcroft–Karp phases over the CSR adjacency from
-// the current (partial) matching until no augmenting path remains.
+// augmentToMax runs Hopcroft–Karp phases over the active adjacency
+// from the current (partial) matching until no augmenting path
+// remains.
 //
 //coflow:allocfree
 func (mt *Matcher) augmentToMax() {
@@ -196,8 +258,8 @@ func (mt *Matcher) augmentToMax() {
 	for mt.bfs() {
 		phases++
 		for u := 0; u < mt.n; u++ {
-			if mt.matchL[u] == matrix.Unmatched {
-				mt.dfs(u)
+			if mt.matchL[u] == matrix.Unmatched && mt.dfs(u) {
+				mt.matched++
 			}
 		}
 	}
@@ -226,7 +288,8 @@ func (mt *Matcher) bfs() bool {
 	found := false
 	for qi := 0; qi < len(mt.queue); qi++ {
 		u := mt.queue[qi]
-		for _, v32 := range mt.adjDat[mt.adjOff[u]:mt.adjOff[u+1]] {
+		off := mt.adjOff[u]
+		for _, v32 := range mt.adjDat[off : off+mt.adjLen[u]] {
 			w := mt.matchR[v32]
 			if w == matrix.Unmatched {
 				found = true
@@ -243,7 +306,8 @@ func (mt *Matcher) bfs() bool {
 //
 //coflow:allocfree
 func (mt *Matcher) dfs(u int) bool {
-	for _, v32 := range mt.adjDat[mt.adjOff[u]:mt.adjOff[u+1]] {
+	off := mt.adjOff[u]
+	for _, v32 := range mt.adjDat[off : off+mt.adjLen[u]] {
 		v := int(v32)
 		w := mt.matchR[v]
 		if w == matrix.Unmatched || (mt.dist[w] == mt.dist[u]+1 && mt.dfs(w)) {
@@ -254,4 +318,150 @@ func (mt *Matcher) dfs(u int) bool {
 	}
 	mt.dist[u] = infDist
 	return false
+}
+
+// SetAdjacency installs a caller-owned CSR adjacency view: row u's
+// live neighbours are dat[off[u] : off[u]+length[u]]. The caller may
+// mutate the view in place (shrink lengths, swap-delete entries)
+// between calls; the matcher only reads it. off and length must have
+// at least n entries. The view stays active until the next
+// MatchSupport*/MatchGraph call rebuilds the matcher-owned adjacency.
+//
+//coflow:allocfree
+func (mt *Matcher) SetAdjacency(off, length, dat []int32) {
+	mt.adjOff = off
+	mt.adjLen = length
+	mt.adjDat = dat
+}
+
+// Unmatch removes the pair (u, v) from the current matching if
+// present; it is a no-op otherwise.
+//
+//coflow:allocfree
+func (mt *Matcher) Unmatch(u, v int) {
+	if u >= 0 && u < mt.n && mt.matchL[u] == v {
+		mt.matchL[u] = matrix.Unmatched
+		mt.matchR[v] = matrix.Unmatched
+		mt.matched--
+	}
+}
+
+// MatchedCount returns the cardinality of the current matching in
+// O(1). The matching is perfect iff MatchedCount() == n.
+//
+//coflow:allocfree
+func (mt *Matcher) MatchedCount() int { return mt.matched }
+
+// AugmentRow tries to rematch the single free left vertex u with one
+// Kuhn augmenting-path DFS over the active adjacency, reporting
+// success. Unlike a full Hopcroft–Karp phase it costs O(reachable
+// edges), which is the right tool when one matched edge just
+// disappeared and the rest of the matching is intact. Calling it on an
+// already-matched row reports true without searching.
+//
+// Maximality contract: if the matching was PERFECT before deleting
+// matched edge (u, v) — the BvN extraction invariant — then u and v
+// are the only free vertices, every augmenting path runs u→…→v, and a
+// false return proves no perfect matching exists. If other vertices
+// were already free, a path ending at the freed v from a different
+// free row can escape the u-rooted search; such callers must fall
+// back to Rematch on failure.
+//
+//coflow:allocfree
+func (mt *Matcher) AugmentRow(u int) bool {
+	if mt.matchL[u] != matrix.Unmatched {
+		return true
+	}
+	mt.stamp++
+	if mt.kuhn(u) {
+		mt.matched++
+		return true
+	}
+	return false
+}
+
+// kuhn is the single-source augmenting DFS behind AugmentRow. The
+// mark/stamp pair gives O(1) per-call visited-set reset. At every
+// depth a lookahead pass claims a free neighbour before any recursion
+// runs, so the common repair (a short path to a just-freed column)
+// never wanders depth-first through the matched bulk of the graph.
+//
+//coflow:allocfree
+func (mt *Matcher) kuhn(u int) bool {
+	off := mt.adjOff[u]
+	adj := mt.adjDat[off : off+mt.adjLen[u]]
+	for _, v32 := range adj {
+		v := int(v32)
+		if mt.matchR[v] == matrix.Unmatched && mt.mark[v] != mt.stamp {
+			mt.mark[v] = mt.stamp
+			mt.matchL[u] = v
+			mt.matchR[v] = u
+			return true
+		}
+	}
+	for _, v32 := range adj {
+		v := int(v32)
+		if mt.mark[v] == mt.stamp {
+			continue
+		}
+		mt.mark[v] = mt.stamp
+		if mt.kuhn(mt.matchR[v]) {
+			mt.matchL[u] = v
+			mt.matchR[v] = u
+			return true
+		}
+	}
+	return false
+}
+
+// RepairRematch revalidates the warm matching against the ACTIVE
+// adjacency (dropping matched pairs whose edge is gone), augments to
+// maximum, and reports the resulting cardinality. This is the
+// external-adjacency analogue of the repair step inside
+// MatchSupportAtLeast: the caller mutates its SetAdjacency view, then
+// asks for a repaired maximum matching without any CSR rebuild.
+//
+//coflow:allocfree
+func (mt *Matcher) RepairRematch() int {
+	for u := 0; u < mt.n; u++ {
+		v := mt.matchL[u]
+		if v == matrix.Unmatched {
+			continue
+		}
+		present := false
+		off := mt.adjOff[u]
+		for _, w32 := range mt.adjDat[off : off+mt.adjLen[u]] {
+			if int(w32) == v {
+				present = true
+				break
+			}
+		}
+		if !present {
+			mt.matchL[u] = matrix.Unmatched
+			mt.matchR[v] = matrix.Unmatched
+			mt.matched--
+		}
+	}
+	mt.augmentToMax()
+	return mt.matched
+}
+
+// Rematch augments the current matching to maximum over the active
+// adjacency (no repair scan — the caller guarantees every matched
+// edge is still live, e.g. because it called Unmatch for each removed
+// edge) and reports the resulting cardinality.
+//
+//coflow:allocfree
+func (mt *Matcher) Rematch() int {
+	mt.augmentToMax()
+	return mt.matched
+}
+
+// MatchingInto copies the current left-to-right assignment into dst
+// (which must have length n) and returns it wrapped as a Permutation.
+//
+//coflow:allocfree
+func (mt *Matcher) MatchingInto(dst []int) matrix.Permutation {
+	copy(dst, mt.matchL)
+	return matrix.Permutation{To: dst}
 }

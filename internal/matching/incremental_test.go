@@ -177,3 +177,134 @@ func FuzzMatcherWarmStart(f *testing.F) {
 		}
 	})
 }
+
+// TestMatcherExternalAdjacency exercises the caller-owned adjacency
+// path used by the incremental BvN decomposer: install a CSR view via
+// SetAdjacency, shrink it in place with swap-deletes + Unmatch, and
+// repair one row at a time with AugmentRow. Every intermediate
+// matching must match brute force on the equivalent graph.
+func TestMatcherExternalAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for seq := 0; seq < 200; seq++ {
+		n := 2 + rng.Intn(5)
+		// Dense-ish random support; keep a parallel dense matrix as
+		// the reference edge set.
+		d := matrix.NewSquare(n)
+		off := make([]int32, n)
+		length := make([]int32, n)
+		dat := make([]int32, 0, n*n)
+		for i := 0; i < n; i++ {
+			off[i] = int32(len(dat))
+			for j := 0; j < n; j++ {
+				if rng.Intn(3) != 0 {
+					d.Set(i, j, 1)
+					dat = append(dat, int32(j))
+				}
+			}
+			length[i] = int32(len(dat)) - off[i]
+		}
+		mt := NewMatcher(n)
+		mt.SetAdjacency(off, length, dat)
+		got := mt.Rematch()
+		if want := BruteForceMaxMatching(SupportGraph(d)); got != want {
+			t.Fatalf("seq %d cold: got %d want %d", seq, got, want)
+		}
+		if got != mt.MatchedCount() {
+			t.Fatalf("seq %d: Rematch %d vs MatchedCount %d", seq, got, mt.MatchedCount())
+		}
+		dst := make([]int, n)
+		checkMatching(t, d, 1, mt.MatchingInto(dst))
+
+		// Now delete random edges one at a time, repairing per row.
+		for step := 0; step < 3*n; step++ {
+			// Pick a random live edge (row with length > 0).
+			rows := make([]int, 0, n)
+			for i := 0; i < n; i++ {
+				if length[i] > 0 {
+					rows = append(rows, i)
+				}
+			}
+			if len(rows) == 0 {
+				break
+			}
+			u := rows[rng.Intn(len(rows))]
+			k := off[u] + int32(rng.Intn(int(length[u])))
+			v := int(dat[k])
+			// Swap-delete the edge from the live view.
+			last := off[u] + length[u] - 1
+			dat[k] = dat[last]
+			length[u]--
+			d.Set(u, v, 0)
+			mt.Unmatch(u, v)
+			// Per the AugmentRow contract: on a non-perfect matching a
+			// failed u-rooted search needs the Rematch fallback.
+			if !mt.AugmentRow(u) {
+				mt.Rematch()
+			}
+			got := mt.MatchedCount()
+			if want := BruteForceMaxMatching(SupportGraph(d)); got != want {
+				t.Fatalf("seq %d step %d: after deleting (%d,%d) got %d want %d",
+					seq, step, u, v, got, want)
+			}
+			checkMatching(t, d, 1, mt.MatchingInto(dst))
+		}
+	}
+}
+
+// TestMatcherRepairRematch checks the bulk external-adjacency repair:
+// shrink the view arbitrarily (without telling the matcher which
+// edges died) and let RepairRematch rediscover a maximum matching.
+func TestMatcherRepairRematch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for seq := 0; seq < 200; seq++ {
+		n := 2 + rng.Intn(5)
+		d := matrix.NewSquare(n)
+		off := make([]int32, n)
+		length := make([]int32, n)
+		dat := make([]int32, 0, n*n)
+		for i := 0; i < n; i++ {
+			off[i] = int32(len(dat))
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					d.Set(i, j, 1)
+					dat = append(dat, int32(j))
+				}
+			}
+			length[i] = int32(len(dat)) - off[i]
+		}
+		mt := NewMatcher(n)
+		mt.SetAdjacency(off, length, dat)
+		mt.Rematch()
+		// Truncate random rows in place, then bulk-repair.
+		for i := 0; i < n; i++ {
+			for length[i] > 0 && rng.Intn(3) == 0 {
+				v := int(dat[off[i]+length[i]-1])
+				length[i]--
+				d.Set(i, v, 0)
+			}
+		}
+		got := mt.RepairRematch()
+		if want := BruteForceMaxMatching(SupportGraph(d)); got != want {
+			t.Fatalf("seq %d: repaired %d want %d", seq, got, want)
+		}
+		dst := make([]int, n)
+		checkMatching(t, d, 1, mt.MatchingInto(dst))
+	}
+}
+
+// TestMatcherMatchedCountTracksMatchSupport pins the O(1) cardinality
+// counter against the returned permutation across warm-started calls
+// through the matrix entry point.
+func TestMatcherMatchedCountTracksMatchSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 6
+	d := matrix.NewSquare(n)
+	mt := NewMatcher(n)
+	for s := 0; s < 300; s++ {
+		mutate(rng, d)
+		p := mt.MatchSupport(d)
+		if got, want := mt.MatchedCount(), p.Size(); got != want {
+			t.Fatalf("step %d: MatchedCount %d, permutation size %d", s, got, want)
+		}
+	}
+}

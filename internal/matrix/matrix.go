@@ -66,17 +66,26 @@ func MustFromRows(rows [][]int64) *Matrix {
 }
 
 // Rows returns the number of rows.
+//
+//coflow:allocfree
 func (m *Matrix) Rows() int { return m.rows }
 
 // Cols returns the number of columns.
+//
+//coflow:allocfree
 func (m *Matrix) Cols() int { return m.cols }
 
 // At returns the entry at row i, column j.
+//
+//coflow:allocfree
 func (m *Matrix) At(i, j int) int64 { return m.data[i*m.cols+j] }
 
 // Set assigns v to entry (i, j). It panics if v is negative.
+//
+//coflow:allocfree
 func (m *Matrix) Set(i, j int, v int64) {
 	if v < 0 {
+		//lint:ignore allocfree the panic message formats once on a fatal negative-value misuse, never on the served path
 		panic(fmt.Sprintf("matrix: negative value %d at (%d,%d)", v, i, j))
 	}
 	m.data[i*m.cols+j] = v
@@ -84,10 +93,13 @@ func (m *Matrix) Set(i, j int, v int64) {
 
 // Add adds v (which may be negative) to entry (i, j), panicking if the
 // result would be negative.
+//
+//coflow:allocfree
 func (m *Matrix) Add(i, j int, v int64) {
 	idx := i*m.cols + j
 	nv := m.data[idx] + v
 	if nv < 0 {
+		//lint:ignore allocfree the panic message formats once on a fatal conservation violation, never on the served path
 		panic(fmt.Sprintf("matrix: entry (%d,%d) would become negative (%d)", i, j, nv))
 	}
 	m.data[idx] = nv
@@ -98,6 +110,25 @@ func (m *Matrix) Clone() *Matrix {
 	c := &Matrix{rows: m.rows, cols: m.cols, data: make([]int64, len(m.data))}
 	copy(c.data, m.data)
 	return c
+}
+
+// CopyFrom overwrites m's entries with other's. Dimensions must match.
+// Copying a matrix onto itself is a no-op.
+//
+//coflow:allocfree
+func (m *Matrix) CopyFrom(other *Matrix) {
+	if m.rows != other.rows || m.cols != other.cols {
+		//lint:ignore allocfree the panic message formats once on a fatal shape mismatch, never on the served path
+		panic(fmt.Sprintf("matrix: CopyFrom dimension mismatch %d×%d vs %d×%d", m.rows, m.cols, other.rows, other.cols))
+	}
+	copy(m.data, other.data)
+}
+
+// Zero resets every entry of m to 0 in place.
+//
+//coflow:allocfree
+func (m *Matrix) Zero() {
+	clear(m.data)
 }
 
 // AddMatrix adds other into m entrywise. Dimensions must match.
@@ -126,6 +157,8 @@ func (m *Matrix) SubMatrix(other *Matrix) {
 }
 
 // RowSum returns the sum of row i.
+//
+//coflow:allocfree
 func (m *Matrix) RowSum(i int) int64 {
 	var s int64
 	row := m.data[i*m.cols : (i+1)*m.cols]
@@ -146,23 +179,40 @@ func (m *Matrix) ColSum(j int) int64 {
 
 // RowSums returns all row sums.
 func (m *Matrix) RowSums() []int64 {
-	out := make([]int64, m.rows)
+	return m.RowSumsInto(make([]int64, m.rows))
+}
+
+// RowSumsInto writes all row sums into dst (which must have length
+// Rows()) and returns it. The allocation-free form of RowSums.
+//
+//coflow:allocfree
+func (m *Matrix) RowSumsInto(dst []int64) []int64 {
 	for i := 0; i < m.rows; i++ {
-		out[i] = m.RowSum(i)
+		dst[i] = m.RowSum(i)
 	}
-	return out
+	return dst
 }
 
 // ColSums returns all column sums.
 func (m *Matrix) ColSums() []int64 {
-	out := make([]int64, m.cols)
+	return m.ColSumsInto(make([]int64, m.cols))
+}
+
+// ColSumsInto writes all column sums into dst (which must have length
+// Cols()) and returns it. The allocation-free form of ColSums.
+//
+//coflow:allocfree
+func (m *Matrix) ColSumsInto(dst []int64) []int64 {
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for j, v := range row {
-			out[j] += v
+			dst[j] += v
 		}
 	}
-	return out
+	return dst
 }
 
 // Total returns the sum of all entries.

@@ -3,7 +3,6 @@ package switchsim
 import (
 	"fmt"
 
-	"coflow/internal/bvn"
 	"coflow/internal/coflowmodel"
 	"coflow/internal/matrix"
 )
@@ -47,7 +46,7 @@ func ExecuteRecorded(plan *Plan) (*Result, *Transcript, error) {
 		if d.IsZero() {
 			continue
 		}
-		dec, err := decomposeStage(d, plan.Strategy)
+		dec, err := e.decomposeStage(d)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -82,15 +81,19 @@ type stageTerm struct {
 	perm  matrix.Permutation
 }
 
-// decomposeStage wraps the BvN decomposition into plain terms.
-func decomposeStage(d *matrix.Matrix, strategy bvn.Strategy) ([]stageTerm, error) {
-	dec, err := bvn.DecomposeWith(d, strategy)
+// decomposeStage wraps the shared Decomposer's result into plain
+// terms. The permutations are cloned because the Decomposer recycles
+// its buffers on the next stage, while a transcript consumer may hold
+// the terms longer; this is the slow export path, so the copies are
+// irrelevant next to the unit-level recording.
+func (e *executor) decomposeStage(d *matrix.Matrix) ([]stageTerm, error) {
+	dec, err := e.decompose(d)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]stageTerm, len(dec.Terms))
 	for i, t := range dec.Terms {
-		out[i] = stageTerm{count: t.Count, perm: t.Perm}
+		out[i] = stageTerm{count: t.Count, perm: t.Perm.Clone()}
 	}
 	return out, nil
 }

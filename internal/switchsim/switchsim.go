@@ -85,6 +85,18 @@ type executor struct {
 	lastSrv []int64      // per coflow: last slot any unit was served
 	remain  []int64      // per coflow: total remaining units
 	stageOf []int        // per position: stage index
+	// dec is the executor-owned reusable BvN engine: every stage of
+	// the run shares its scratch and warm matcher, so only the first
+	// stage pays the pool warm-up allocations.
+	dec *bvn.Decomposer
+}
+
+// decompose runs the plan's strategy on d through the shared
+// Decomposer. The returned terms alias the Decomposer's recycled
+// buffers: they are consumed (served or copied) before the next
+// stage's decompose overwrites them.
+func (e *executor) decompose(d *matrix.Matrix) (*bvn.Decomposition, error) {
+	return e.dec.DecomposeWith(d, e.plan.Strategy)
 }
 
 func newExecutor(plan *Plan) (*executor, error) {
@@ -115,7 +127,9 @@ func newExecutor(plan *Plan) (*executor, error) {
 		lastSrv: make([]int64, n),
 		remain:  make([]int64, n),
 		stageOf: make([]int, n),
+		dec:     bvn.NewDecomposer(m),
 	}
+	e.dec.SetObs(bvn.DefaultObs())
 	for s, st := range plan.Stages {
 		for pos := st.Start; pos < st.End; pos++ {
 			e.stageOf[pos] = s
@@ -255,7 +269,7 @@ func Execute(plan *Plan) (*Result, error) {
 			continue
 		}
 		stageSpan := pkgObs.StageSeconds.Start()
-		dec, err := bvn.DecomposeWith(d, e.plan.Strategy)
+		dec, err := e.decompose(d)
 		if err != nil {
 			stageSpan.End()
 			return nil, err
@@ -300,7 +314,7 @@ func ExecuteSlotAccurate(plan *Plan) (*Result, error) {
 		if d.IsZero() {
 			continue
 		}
-		dec, err := bvn.DecomposeWith(d, e.plan.Strategy)
+		dec, err := e.decompose(d)
 		if err != nil {
 			return nil, err
 		}
