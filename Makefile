@@ -1,7 +1,7 @@
 # Standard developer entry points. Everything is stdlib-only Go; no
 # tools beyond the toolchain are required.
 
-.PHONY: build test check lint escapecheck escapebaseline slowcheck loadtest bench bench-baseline bench-all
+.PHONY: build test check lint escapecheck escapebaseline slowcheck loadtest scenarios bench bench-baseline bench-all
 
 build:
 	go build ./...
@@ -13,11 +13,11 @@ test:
 # Pre-merge gate, cheapest checks first: the project analyzers (lint)
 # and the escape-analysis gate fail in seconds with file:line
 # diagnostics, so they run before vet, the race suites, the
-# differential-oracle sweep (slowcheck) and the Step perf regression
-# gate (bench).
-check: lint escapecheck slowcheck loadtest bench
+# differential-oracle sweep and churn soak (slowcheck), the scenario
+# smoke (scenarios) and the Step perf regression gate (bench).
+check: lint escapecheck slowcheck scenarios loadtest bench
 	go vet -unsafeptr ./...
-	go test -race ./internal/matrix/... ./internal/matching/... ./internal/obs/... ./internal/online/... ./internal/switchsim/... ./internal/daemon/... ./internal/shard/...
+	go test -race ./internal/matrix/... ./internal/matching/... ./internal/obs/... ./internal/online/... ./internal/scenario/... ./internal/switchsim/... ./internal/daemon/... ./internal/shard/...
 
 # Project-specific static analysis (internal/lint run by
 # cmd/coflowvet): allocation-freedom of //coflow:allocfree functions,
@@ -45,6 +45,7 @@ escapebaseline:
 # a minimized reproducer; see DESIGN.md "Invariant checking".
 slowcheck:
 	go test -tags=slowcheck ./internal/check/
+	go test -race -tags=slowcheck -run=TestChurnSoak ./internal/shard/
 	go test -run='^$$' -fuzz=FuzzStepVsReference -fuzztime=30s ./internal/check/
 
 # Bounded end-to-end load smoke: coflowload drives an in-process
@@ -53,6 +54,15 @@ slowcheck:
 # (p50/p99 ingest latency, per-fabric tick latency) prints either way.
 loadtest:
 	go run ./cmd/coflowload -selftest -shards 4 -duration 3s -c 8 -bulk 16
+
+# Scenario smoke: replay every built-in scenario through the
+# in-process driver (monitor validating every slot, planner
+# cross-checked) and one churn scenario end-to-end over loopback HTTP
+# against an in-process sharded coflowd. Fails on any monitor
+# violation, lost demand, 5xx, or unresolved coflow.
+scenarios:
+	go test -run='TestBuiltinsReplayClean|TestChurnShadowReplay' -count=1 ./internal/scenario/
+	go run ./cmd/coflowload -selftest -shards 2 -scenario churn-cancel -tick 2ms
 
 # Tracked perf benchmarks, compare-only: runs the per-slot pipeline
 # (Step) and BvN decomposition benches 3×, joins the per-benchmark
@@ -68,7 +78,7 @@ loadtest:
 # pre-optimization record the PR 2 speedup numbers in EXPERIMENTS.md
 # are measured against.) The JSON report lands in $(BENCHOUT).
 MAXREGRESS ?= 20
-BENCHOUT ?= BENCH_PR7.json
+BENCHOUT ?= BENCH_PR8.json
 bench:
 	go test -bench='^(BenchmarkStep|BenchmarkDecompose)' -benchmem -benchtime=1s -count=3 -run='^$$' \
 		./internal/online/ ./internal/bvn/ > bench/latest.txt

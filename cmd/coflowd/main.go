@@ -1,8 +1,14 @@
 // Command coflowd runs the resident coflow scheduling daemon: one or
 // more virtual m×m switch fabrics advanced slot-by-slot on wall-clock
 // ticks, behind an HTTP/JSON control plane for registering (single or
-// bulk), inspecting and cancelling coflows and for reading live
-// scheduler metrics.
+// bulk), inspecting and cancelling coflows (single via DELETE
+// /v1/coflows/{id}, bulk via a JSON ID array on DELETE /v1/coflows),
+// injecting port failures (POST /v1/ports/{port}/fail and /recover —
+// demand on a failed port parks until recovery, it is never dropped)
+// and for reading live scheduler metrics. Cancelling a coflow that
+// already completed or was cancelled answers 409 with the structured
+// kind "terminal_coflow"; churn-heavy clients (cmd/coflowload
+// -scenario) treat that as expected cancel-vs-completion racing.
 //
 // Usage:
 //

@@ -10,7 +10,18 @@
 //	coflowload [-addr http://localhost:8080] [-c 8] [-rate 0]
 //	           [-duration 10s] [-mix 90/5/5] [-bulk 1] [-ports 50]
 //	           [-flows 4] [-maxsize 1000] [-pin -1] [-json]
-//	           [-selftest] [-shards 4]
+//	           [-selftest] [-shards 4] [-scenario name|file]
+//
+// -scenario replaces the closed-loop mix with a deterministic replay
+// of an internal/scenario script (a built-in name like bursty-churn's
+// siblings — see scenario.Builtins — or a JSON script file): register
+// / cancel / port-failure events fire at their scripted slots (one
+// -tick each), then the run drains and reports the server-side
+// slowdown tail (p50/p99/max) and the completion-weighted objective.
+// Cancels answered 409 terminal_coflow count as expected churn. With
+// -selftest the in-process cluster is sized to the script's fabric
+// and the run fails on any 5xx, transport error, or coflow left
+// unresolved.
 //
 // -rate is the total target request rate across all workers
 // (requests/second; 0 means unthrottled). -mix is the
@@ -67,7 +78,32 @@ func main() {
 	selftest := flag.Bool("selftest", false, "drive an in-process sharded coflowd and exit nonzero on 5xx or zero throughput")
 	shards := flag.Int("shards", 4, "fabrics for the -selftest in-process daemon")
 	tick := flag.Duration("tick", 10*time.Millisecond, "slot duration for the -selftest in-process daemon")
+	scenarioName := flag.String("scenario", "", "replay a scenario (built-in name or script file) instead of the closed-loop mix")
 	flag.Parse()
+
+	if *scenarioName != "" {
+		script, err := loadScript(*scenarioName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := strings.TrimRight(*addr, "/")
+		var cleanup func()
+		if *selftest {
+			// The in-process fabric must be at least script-sized.
+			base, cleanup = startInProcess(*shards, script.Ports, *tick)
+		}
+		client := &http.Client{Timeout: 10 * time.Second}
+		rep := replayScenario(client, base, script, *tick)
+		if cleanup != nil {
+			cleanup()
+		}
+		printScenarioReport(rep, *jsonOut)
+		if *selftest && (rep.Errors5xx > 0 || rep.NetErrors > 0 || rep.Unresolved > 0) {
+			log.Fatalf("scenario selftest failed: %d server errors, %d net errors, %d unresolved coflows",
+				rep.Errors5xx, rep.NetErrors, rep.Unresolved)
+		}
+		return
+	}
 
 	// The cancel share is the remainder after register and get.
 	mixReg, mixGet, _, err := parseMix(*mix)

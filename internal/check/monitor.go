@@ -31,6 +31,10 @@ type Monitor struct {
 	rowSlot, colSlot []int64
 	// touched keys scratch for the drain check.
 	touched []int
+	// down marks ports the caller declared failed (FailPort): any
+	// service touching one is a violation, because a failed port's
+	// demand must park, not drain.
+	down []bool
 }
 
 // monCoflow is the monitor's independent bookkeeping for one coflow.
@@ -50,6 +54,23 @@ func NewMonitor(ports int) *Monitor {
 		coflows: map[int]*monCoflow{},
 		rowSlot: make([]int64, ports),
 		colSlot: make([]int64, ports),
+		down:    make([]bool, ports),
+	}
+}
+
+// FailPort mirrors a State.FailPort: from now until RecoverPort, any
+// service touching port p is reported as a violation. Out-of-range
+// ports are ignored (the scheduler already rejected them).
+func (mo *Monitor) FailPort(p int) {
+	if p >= 0 && p < mo.ports {
+		mo.down[p] = true
+	}
+}
+
+// RecoverPort mirrors a State.RecoverPort.
+func (mo *Monitor) RecoverPort(p int) {
+	if p >= 0 && p < mo.ports {
+		mo.down[p] = false
 	}
 }
 
@@ -109,6 +130,14 @@ func (mo *Monitor) Observe(res online.StepResult, validate bool) []Violation {
 			report(Violation{Kind: KindBadService, Slot: res.Slot, Coflow: a.Key, Port: a.Src,
 				Msg: fmt.Sprintf("assignment (%d→%d) outside %d ports", a.Src, a.Dst, mo.ports)})
 			continue
+		}
+		if mo.down[a.Src] || mo.down[a.Dst] {
+			p := a.Src
+			if !mo.down[p] {
+				p = a.Dst
+			}
+			report(Violation{Kind: KindBadService, Slot: res.Slot, Coflow: a.Key, Port: p,
+				Msg: fmt.Sprintf("assignment (%d→%d) uses failed port %d in slot %d", a.Src, a.Dst, p, res.Slot)})
 		}
 		if mo.rowSlot[a.Src] == res.Slot {
 			report(Violation{Kind: KindDoubleBooked, Slot: res.Slot, Coflow: a.Key, Port: a.Src,

@@ -1,0 +1,172 @@
+package daemon
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"coflow/internal/coflowmodel"
+	"coflow/internal/online"
+)
+
+func cancelTestServer(t *testing.T, ports int) (*Daemon, *httptest.Server) {
+	t.Helper()
+	d, err := New(Config{Ports: ports, Policy: online.SEBF, MaxBody: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = d.Close() })
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+	return d, srv
+}
+
+func registerOne(t *testing.T, d *Daemon, src, dst int, size int64) int {
+	t.Helper()
+	id, _, err := d.Register(&coflowmodel.Registration{
+		Flows: []coflowmodel.Flow{{Src: src, Dst: dst, Size: size}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// TestHTTPCancelTerminalCoflow pins the satellite contract: cancelling
+// a coflow that already reached a terminal state (cancelled or
+// completed) answers 409 with the dedicated kind "terminal_coflow",
+// not the generic "conflict" the pre-fix daemon served.
+func TestHTTPCancelTerminalCoflow(t *testing.T) {
+	d, srv := cancelTestServer(t, 2)
+	client := srv.Client()
+
+	cancelled := registerOne(t, d, 0, 1, 5)
+	completed := registerOne(t, d, 1, 0, 1)
+
+	idPath := func(id int) string { return srv.URL + "/v1/coflows/" + strconv.Itoa(id) }
+	if code := doJSON(t, client, "DELETE", idPath(cancelled), "", nil); code != http.StatusOK {
+		t.Fatalf("first DELETE = %d, want 200", code)
+	}
+	// Drain the one-unit coflow so it terminates by completion.
+	if err := d.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Snapshot().Coflows.Get(completed); st == nil || st.State != "completed" {
+		t.Fatalf("coflow %d not completed after tick: %+v", completed, st)
+	}
+
+	var errBody struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	for _, id := range []int{cancelled, completed} {
+		errBody.Kind = ""
+		if code := doJSON(t, client, "DELETE", idPath(id), "", &errBody); code != http.StatusConflict || errBody.Kind != "terminal_coflow" {
+			t.Fatalf("DELETE terminal %d = %d kind=%q, want 409 terminal_coflow", id, code, errBody.Kind)
+		}
+	}
+	// Unknown IDs stay 404 not_found — terminal_coflow must not leak there.
+	if code := doJSON(t, client, "DELETE", idPath(99999), "", &errBody); code != http.StatusNotFound || errBody.Kind != "not_found" {
+		t.Fatalf("DELETE unknown = %d kind=%q, want 404 not_found", code, errBody.Kind)
+	}
+}
+
+// TestHTTPBulkCancel exercises DELETE /v1/coflows with a mixed array:
+// live, unknown, terminal, and non-positive IDs resolve independently
+// into index-addressed results matching the bulk-register format.
+func TestHTTPBulkCancel(t *testing.T) {
+	d, srv := cancelTestServer(t, 2)
+	client := srv.Client()
+
+	live := registerOne(t, d, 0, 1, 5)
+	terminal := registerOne(t, d, 1, 0, 3)
+	if err := d.Cancel(terminal); err != nil {
+		t.Fatal(err)
+	}
+
+	body := "[" + strconv.Itoa(live) + ", 99999, " + strconv.Itoa(terminal) + ", -7]"
+	var resp BulkResponse
+	if code := doJSON(t, client, "DELETE", srv.URL+"/v1/coflows", body, &resp); code != http.StatusOK {
+		t.Fatalf("bulk DELETE = %d, want 200", code)
+	}
+	if resp.OK != 1 || resp.Failed != 3 || len(resp.Results) != 4 {
+		t.Fatalf("bulk response = %+v, want 1 ok / 3 failed / 4 results", resp)
+	}
+	for i, r := range resp.Results {
+		if r.Index != i {
+			t.Fatalf("result %d carries index %d", i, r.Index)
+		}
+	}
+	if r := resp.Results[0]; r.ID != live || r.Kind != "" || r.Error != "" {
+		t.Fatalf("live item = %+v, want clean cancel", r)
+	}
+	if r := resp.Results[1]; r.Kind != "not_found" || r.Error == "" {
+		t.Fatalf("unknown item = %+v, want not_found", r)
+	}
+	if r := resp.Results[2]; r.Kind != "terminal_coflow" || r.Error == "" {
+		t.Fatalf("terminal item = %+v, want terminal_coflow", r)
+	}
+	if r := resp.Results[3]; r.ID != -7 || r.Kind != "validation" {
+		t.Fatalf("non-positive item = %+v, want validation", r)
+	}
+	if st := d.Snapshot().Coflows.Get(live); st == nil || st.State != "cancelled" {
+		t.Fatalf("live coflow after bulk cancel: %+v", st)
+	}
+}
+
+// TestHTTPBulkCancelBodyErrors: body-level breakage fails the whole
+// request with the structured kinds shared with bulk registration.
+func TestHTTPBulkCancelBodyErrors(t *testing.T) {
+	_, srv := cancelTestServer(t, 2)
+	client := srv.Client()
+	var errBody struct {
+		Kind string `json:"kind"`
+	}
+	for body, want := range map[string]string{
+		`{"ids": [1]}`: "malformed_json", // object, not array
+		`[1, 2`:        "malformed_json",
+		`[]`:           "validation",
+	} {
+		errBody.Kind = ""
+		if code := doJSON(t, client, "DELETE", srv.URL+"/v1/coflows", body, &errBody); code != http.StatusBadRequest || errBody.Kind != want {
+			t.Fatalf("body %q = %d kind=%q, want 400 %s", body, code, errBody.Kind, want)
+		}
+	}
+}
+
+// TestHTTPPortFailRecover drives the failure injection routes: fail
+// parks the port (visible in metrics), recover clears it, and bad
+// ports get structured validation errors.
+func TestHTTPPortFailRecover(t *testing.T) {
+	d, srv := cancelTestServer(t, 4)
+	client := srv.Client()
+
+	var ack struct {
+		Port   int  `json:"port"`
+		Failed bool `json:"failed"`
+	}
+	if code := doJSON(t, client, "POST", srv.URL+"/v1/ports/2/fail", "", &ack); code != http.StatusOK || ack.Port != 2 || !ack.Failed {
+		t.Fatalf("fail port 2 = %d %+v", code, ack)
+	}
+	m := d.Snapshot().Metrics
+	if m.PortsFailed != 1 || len(m.FailedPorts) != 1 || m.FailedPorts[0] != 2 {
+		t.Fatalf("metrics after fail = %+v", m)
+	}
+	if code := doJSON(t, client, "POST", srv.URL+"/v1/ports/2/recover", "", &ack); code != http.StatusOK || ack.Failed {
+		t.Fatalf("recover port 2 = %d %+v", code, ack)
+	}
+	if m := d.Snapshot().Metrics; m.PortsFailed != 0 {
+		t.Fatalf("metrics after recover = %+v", m)
+	}
+
+	var errBody struct {
+		Kind string `json:"kind"`
+	}
+	if code := doJSON(t, client, "POST", srv.URL+"/v1/ports/99/fail", "", &errBody); code != http.StatusBadRequest || errBody.Kind != "validation" {
+		t.Fatalf("fail port 99 = %d kind=%q, want 400 validation", code, errBody.Kind)
+	}
+	if code := doJSON(t, client, "POST", srv.URL+"/v1/ports/x/fail", "", &errBody); code != http.StatusBadRequest || errBody.Kind != "validation" {
+		t.Fatalf("fail port x = %d kind=%q, want 400 validation", code, errBody.Kind)
+	}
+}

@@ -46,6 +46,18 @@ import (
 // ErrClosed is returned for operations on a daemon that has shut down.
 var ErrClosed = errors.New("daemon: closed")
 
+// ErrUnknownCoflow is returned when an operation names a coflow ID
+// this daemon has never seen. The HTTP plane maps it to 404.
+var ErrUnknownCoflow = errors.New("daemon: unknown coflow")
+
+// ErrTerminalCoflow is returned when a cancellation names a coflow
+// that already reached a terminal state (completed or cancelled).
+// Distinct from ErrUnknownCoflow so churn-heavy clients can tell a
+// lost race against completion (expected under load) from a genuinely
+// bogus ID; the HTTP plane maps it to a structured 409 with kind
+// "terminal_coflow".
+var ErrTerminalCoflow = errors.New("daemon: terminal coflow")
+
 // degradeHold is the number of consecutive under-budget FIFO ticks
 // required before the configured policy is restored.
 const degradeHold = 32
@@ -159,6 +171,12 @@ type Metrics struct {
 	PlanTermReuseHitRate float64 `json:"plan_term_reuse_hit_rate,omitempty"`
 	// PlanError records the error that disabled the planner, if any.
 	PlanError string `json:"plan_error,omitempty"`
+	// PortsFailed is the number of switch ports currently offline via
+	// FailPort; FailedPorts lists them in ascending order. Demand on a
+	// failed port is parked, not dropped, so ActiveCoflows includes
+	// coflows that cannot currently make progress.
+	PortsFailed int   `json:"ports_failed,omitempty"`
+	FailedPorts []int `json:"failed_ports,omitempty"`
 	// SelfCheck reports whether the invariant monitor is enabled.
 	SelfCheck bool `json:"self_check"`
 	// SelfCheckViolations counts invariant violations the monitor has
@@ -206,11 +224,24 @@ type coflowInfo struct {
 	terminal *CoflowStatus // guarded by loop
 }
 
+// portOp selects a port lifecycle command.
+type portOp int8
+
+const (
+	portNone portOp = iota
+	portFail
+	portRecover
+)
+
 type command struct {
-	// exactly one of the following is set
+	// exactly one of reg, tick, portOp, or cancel is set
 	reg    *coflowmodel.Registration
 	cancel int  // coflow ID, when > 0 and reg == nil
 	tick   bool // advance one slot
+
+	// port, with portOp set, is the port to fail or recover.
+	port   int
+	portOp portOp
 
 	// forceID, when > 0 with reg set, is the caller-chosen coflow ID
 	// (the shard router assigns cluster-unique IDs); 0 lets the loop
@@ -326,6 +357,25 @@ func (d *Daemon) MetricsRegistry() *obs.Registry { return d.obs.reg }
 // ID is unknown or the coflow already completed.
 func (d *Daemon) Cancel(id int) error {
 	_, err := d.send(command{cancel: id})
+	return err
+}
+
+// FailPort takes one switch port (both its ingress and egress side)
+// offline: it leaves every subsequent matching until RecoverPort, and
+// demand already routed through it is parked — never served, never
+// dropped — so the affected coflows stall rather than complete or
+// vanish. Idempotent. The optional BvN planner deliberately keeps
+// covering parked demand, so PlanLoad reads as the clearing time once
+// every port is healthy again.
+func (d *Daemon) FailPort(port int) error {
+	_, err := d.send(command{port: port, portOp: portFail})
+	return err
+}
+
+// RecoverPort brings a failed port back online; parked demand resumes
+// draining on the next tick. Idempotent.
+func (d *Daemon) RecoverPort(port int) error {
+	_, err := d.send(command{port: port, portOp: portRecover})
 	return err
 }
 
@@ -593,6 +643,10 @@ func (d *Daemon) loop() {
 			SelfCheckViolations: violations,
 			LastViolation:       lastViolation,
 		}
+		if n := state.FailedPortCount(); n > 0 {
+			view.Metrics.PortsFailed = n
+			view.Metrics.FailedPorts = state.FailedPorts(make([]int, 0, n))
+		}
 		if d.cfg.Plan {
 			view.Metrics.Plan = true
 			view.Metrics.PlanError = planErr
@@ -609,6 +663,7 @@ func (d *Daemon) loop() {
 		o.active.Set(float64(state.Len()))
 		o.queueDepth.Set(float64(len(d.cmds)))
 		o.ticksSkipped.Set(float64(d.skippedTicks.Load()))
+		o.portsFailed.Set(float64(state.FailedPortCount()))
 		o.totalWeighted.Set(totalWC)
 		if degraded {
 			o.degraded.Set(1)
@@ -745,21 +800,49 @@ func (d *Daemon) loop() {
 			}
 			return reply{}
 
+		case c.portOp != portNone:
+			var err error
+			if c.portOp == portFail {
+				err = state.FailPort(c.port)
+			} else {
+				err = state.RecoverPort(c.port)
+			}
+			if err != nil {
+				return reply{err: err}
+			}
+			if mon != nil {
+				if c.portOp == portFail {
+					mon.FailPort(c.port)
+				} else {
+					mon.RecoverPort(c.port)
+				}
+			}
+			return reply{}
+
 		default: // cancel
 			ci, ok := coflows[c.cancel]
 			if !ok {
-				return reply{err: fmt.Errorf("daemon: unknown coflow %d", c.cancel)}
+				return reply{err: fmt.Errorf("%w %d", ErrUnknownCoflow, c.cancel)}
 			}
 			if ci.cancelled {
-				return reply{err: fmt.Errorf("daemon: coflow %d already cancelled", c.cancel)}
+				return reply{err: fmt.Errorf("%w: coflow %d already cancelled", ErrTerminalCoflow, c.cancel)}
 			}
 			if ci.completed >= 0 {
-				return reply{err: fmt.Errorf("daemon: coflow %d already completed", c.cancel)}
+				return reply{err: fmt.Errorf("%w: coflow %d already completed", ErrTerminalCoflow, c.cancel)}
 			}
 			if planner != nil {
 				// The unserved remainder must leave the plan too; read it
-				// before Remove discards it.
+				// before Remove discards it — and the cached plan must be
+				// rebuilt HERE, not left to the next tick: this command's
+				// publish reads PlanLoad/PlanTerms from the cached plan,
+				// and a plan refreshed only by ticks keeps reporting the
+				// cancelled demand until one arrives (forever, on an
+				// externally clocked daemon). The refresh is the
+				// Decomposer's cheap incremental Update unless a
+				// registration is also pending.
 				if err := planner.Shed(state.Demand(c.cancel)); err != nil {
+					planFail(err)
+				} else if _, err := planner.Plan(); err != nil {
 					planFail(err)
 				}
 			}

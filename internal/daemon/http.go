@@ -14,21 +14,27 @@ import (
 
 // Handler returns the daemon's HTTP control plane:
 //
-//	POST   /v1/coflows      register coflows (one Registration object,
-//	                        or an array for bulk with per-item results)
-//	GET    /v1/coflows      list every known coflow
-//	GET    /v1/coflows/{id} one coflow's status
-//	DELETE /v1/coflows/{id} cancel a live coflow
-//	GET    /v1/schedule     the matching served in the latest slot
-//	GET    /v1/metrics      live scheduler metrics (JSON)
-//	GET    /metrics         the same registry in Prometheus text format
-//	GET    /healthz         liveness
+//	POST   /v1/coflows              register coflows (one Registration
+//	                                object, or an array for bulk with
+//	                                per-item results)
+//	GET    /v1/coflows              list every known coflow
+//	DELETE /v1/coflows              bulk-cancel (JSON array of IDs,
+//	                                index-addressed per-item results)
+//	GET    /v1/coflows/{id}         one coflow's status
+//	DELETE /v1/coflows/{id}         cancel a live coflow
+//	POST   /v1/ports/{port}/fail    take a port offline (demand parks)
+//	POST   /v1/ports/{port}/recover bring a failed port back
+//	GET    /v1/schedule             the matching served in the latest slot
+//	GET    /v1/metrics              live scheduler metrics (JSON)
+//	GET    /metrics                 the same registry in Prometheus text
+//	GET    /healthz                 liveness
 //
 // All GETs are served from the latest atomic snapshot and never touch
 // the scheduler loop. Errors are structured JSON:
 // {"error": "...", "kind": "..."} where kind is a stable
 // machine-readable class (malformed_json, validation, too_large,
-// method_not_allowed, not_found, conflict, unavailable).
+// method_not_allowed, not_found, conflict, terminal_coflow,
+// unavailable).
 //
 // Every route also registers a method-less fallback so a wrong method
 // gets a structured 405 with an Allow header instead of the mux's
@@ -37,14 +43,19 @@ func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/coflows", d.handleRegister)
 	mux.HandleFunc("GET /v1/coflows", d.handleList)
+	mux.HandleFunc("DELETE /v1/coflows", d.handleBulkCancel)
 	mux.HandleFunc("GET /v1/coflows/{id}", d.handleGet)
 	mux.HandleFunc("DELETE /v1/coflows/{id}", d.handleCancel)
+	mux.HandleFunc("POST /v1/ports/{port}/fail", d.handlePortFail)
+	mux.HandleFunc("POST /v1/ports/{port}/recover", d.handlePortRecover)
 	mux.HandleFunc("GET /v1/schedule", d.handleSchedule)
 	mux.HandleFunc("GET /v1/metrics", d.handleMetrics)
 	mux.HandleFunc("GET /metrics", d.handlePrometheus)
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
-	mux.HandleFunc("/v1/coflows", methodNotAllowed("GET, POST"))
+	mux.HandleFunc("/v1/coflows", methodNotAllowed("DELETE, GET, POST"))
 	mux.HandleFunc("/v1/coflows/{id}", methodNotAllowed("DELETE, GET"))
+	mux.HandleFunc("/v1/ports/{port}/fail", methodNotAllowed("POST"))
+	mux.HandleFunc("/v1/ports/{port}/recover", methodNotAllowed("POST"))
 	mux.HandleFunc("/v1/schedule", methodNotAllowed("GET"))
 	mux.HandleFunc("/v1/metrics", methodNotAllowed("GET"))
 	mux.HandleFunc("/metrics", methodNotAllowed("GET"))
@@ -241,23 +252,135 @@ func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// CancelErrorStatus maps a cancellation error to its HTTP status and
+// structured kind, from the typed sentinels rather than by sniffing
+// snapshots (which races the loop): an unknown ID is a 404, a coflow
+// that already completed or was cancelled is a 409 with the dedicated
+// "terminal_coflow" kind — churn-heavy clients lose cancel-vs-complete
+// races all the time and must be able to tell that expected outcome
+// from a genuinely bogus ID. Exported so the shard plane answers
+// identically.
+func CancelErrorStatus(err error) (code int, kind string) {
+	switch {
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable, "unavailable"
+	case errors.Is(err, ErrTerminalCoflow):
+		return http.StatusConflict, "terminal_coflow"
+	case errors.Is(err, ErrUnknownCoflow):
+		return http.StatusNotFound, "not_found"
+	default:
+		return http.StatusConflict, "conflict"
+	}
+}
+
 func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id, ok := pathID(w, r)
 	if !ok {
 		return
 	}
 	if err := d.Cancel(id); err != nil {
-		switch {
-		case errors.Is(err, ErrClosed):
-			writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
-		case d.Snapshot().Coflows.Get(id) == nil:
-			writeError(w, http.StatusNotFound, "not_found", err.Error())
-		default: // known but already completed/cancelled
-			writeError(w, http.StatusConflict, "conflict", err.Error())
-		}
+		code, kind := CancelErrorStatus(err)
+		writeError(w, code, kind, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "cancelled": true})
+}
+
+// CancelFunc cancels one coflow ID and reports which fabric owned it;
+// the single daemon and the shard router plug in their own.
+type CancelFunc func(id int) (fabric int, err error)
+
+// ServeBulkCancel is the DELETE /v1/coflows body shared by the
+// single-fabric daemon and the sharded cluster: a JSON array of coflow
+// IDs, answered with the same index-addressed per-item result format
+// as bulk registration (BulkResponse), where one bad ID never fails
+// its siblings. Item kinds mirror the single-cancel statuses
+// (not_found, terminal_coflow, unavailable; validation for a
+// non-positive ID).
+func ServeBulkCancel(w http.ResponseWriter, r *http.Request, maxBody int64, cancel CancelFunc) (items int) {
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	var ids []int
+	if err := json.NewDecoder(body).Decode(&ids); err != nil {
+		code, kind := http.StatusBadRequest, "malformed_json"
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code, kind = http.StatusRequestEntityTooLarge, "too_large"
+		}
+		writeError(w, code, kind, "bulk cancel wants a JSON array of coflow ids: "+err.Error())
+		return 0
+	}
+	if len(ids) == 0 {
+		writeError(w, http.StatusBadRequest, "validation", "bulk cancel array is empty")
+		return 0
+	}
+	resp := BulkResponse{Results: make([]BulkItem, len(ids))}
+	for i, id := range ids {
+		item := &resp.Results[i]
+		item.Index, item.ID = i, id
+		var err error
+		if id <= 0 {
+			err = fmt.Errorf("daemon: coflow id must be a positive integer, got %d", id)
+			item.Kind = "validation"
+		} else if item.Fabric, err = cancel(id); err != nil {
+			_, item.Kind = CancelErrorStatus(err)
+		}
+		if err != nil {
+			item.Error = err.Error()
+			resp.Failed++
+			continue
+		}
+		resp.OK++
+	}
+	writeJSON(w, http.StatusOK, &resp)
+	return len(ids)
+}
+
+func (d *Daemon) handleBulkCancel(w http.ResponseWriter, r *http.Request) {
+	ServeBulkCancel(w, r, d.cfg.MaxBody, func(id int) (int, error) {
+		return 0, d.Cancel(id)
+	})
+}
+
+// pathPort parses the {port} path segment.
+func pathPort(w http.ResponseWriter, r *http.Request) (int, bool) {
+	p, err := strconv.Atoi(r.PathValue("port"))
+	if err != nil || p < 0 {
+		writeError(w, http.StatusBadRequest, "validation", "port must be a non-negative integer")
+		return 0, false
+	}
+	return p, true
+}
+
+func (d *Daemon) handlePortFail(w http.ResponseWriter, r *http.Request) {
+	p, ok := pathPort(w, r)
+	if !ok {
+		return
+	}
+	if err := d.FailPort(p); err != nil {
+		if errors.Is(err, ErrClosed) {
+			writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, "validation", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"port": p, "failed": true})
+}
+
+func (d *Daemon) handlePortRecover(w http.ResponseWriter, r *http.Request) {
+	p, ok := pathPort(w, r)
+	if !ok {
+		return
+	}
+	if err := d.RecoverPort(p); err != nil {
+		if errors.Is(err, ErrClosed) {
+			writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, "validation", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"port": p, "failed": false})
 }
 
 func (d *Daemon) handleSchedule(w http.ResponseWriter, r *http.Request) {

@@ -29,6 +29,7 @@ type daemonObs struct {
 	queueDepth   *obs.Gauge
 	degraded     *obs.Gauge
 	ticksSkipped *obs.Gauge
+	portsFailed  *obs.Gauge
 
 	registered    *obs.Counter
 	completed     *obs.Counter
@@ -59,6 +60,7 @@ func newDaemonObs() *daemonObs {
 		queueDepth:   r.Gauge("coflowd_command_queue_depth", "pending commands in the event-loop queue"),
 		degraded:     r.Gauge("coflowd_degraded", "1 while the deadline guard has degraded the policy to FIFO"),
 		ticksSkipped: r.Gauge("coflowd_ticks_skipped_total", "ticker ticks dropped because the loop was busy"),
+		portsFailed:  r.Gauge("coflowd_ports_failed", "switch ports currently offline (their demand is parked)"),
 
 		registered:    r.Counter("coflowd_coflows_registered_total", "coflows registered"),
 		completed:     r.Counter("coflowd_coflows_completed_total", "coflows completed"),

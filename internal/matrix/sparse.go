@@ -42,6 +42,9 @@ type Sparse struct {
 	// that lowers a sum equal to the current load marks it dirty.
 	load      int64
 	loadDirty bool
+	// maskCol is per-compact-column scratch for LoadMasked, allocated
+	// at construction so the masked statistics stay allocation-free.
+	maskCol []int64
 }
 
 // NewSparse builds a Sparse from entries. Entries sharing a (row, col)
@@ -120,6 +123,7 @@ func (s *Sparse) index() {
 	}
 	s.rowOff[len(s.rowID)] = int32(len(s.ent))
 	s.load = s.maxSum()
+	s.maskCol = make([]int64, len(s.colID))
 }
 
 //coflow:allocfree
@@ -199,6 +203,67 @@ func (s *Sparse) Load() int64 {
 //
 //coflow:allocfree
 func (s *Sparse) Total() int64 { return s.total }
+
+// portDown reports whether port p is marked failed in the mask. Ports
+// beyond the mask are up, so a nil or short mask degrades gracefully.
+//
+//coflow:allocfree
+func portDown(down []bool, p int) bool { return p < len(down) && down[p] }
+
+// LoadMasked returns ρ of the demand restricted to live ports: the
+// maximum row or column sum counting only cells whose ingress AND
+// egress are both up (down[p] true marks port p failed). This is the
+// serviceable bottleneck — demand stranded on a failed port is parked,
+// not counted — which is what masked-aware priorities (SEBF under port
+// failures) need. O(cells); the column scratch is preallocated so the
+// call is allocation-free.
+//
+//coflow:allocfree
+func (s *Sparse) LoadMasked(down []bool) int64 {
+	for i := range s.maskCol {
+		s.maskCol[i] = 0
+	}
+	var b int64
+	for r := range s.rowID {
+		if portDown(down, s.rowID[r]) {
+			continue
+		}
+		var rs int64
+		for e, hi := int(s.rowOff[r]), int(s.rowOff[r+1]); e < hi; e++ {
+			ci := s.colIdx[e]
+			if portDown(down, s.colID[ci]) {
+				continue
+			}
+			v := s.ent[e].Val
+			rs += v
+			s.maskCol[ci] += v
+		}
+		if rs > b {
+			b = rs
+		}
+	}
+	for _, v := range s.maskCol {
+		if v > b {
+			b = v
+		}
+	}
+	return b
+}
+
+// TotalMasked returns the sum of cells whose ingress and egress are
+// both up under the mask — the serviceable remaining work. O(cells).
+//
+//coflow:allocfree
+func (s *Sparse) TotalMasked(down []bool) int64 {
+	var t int64
+	for i := range s.ent {
+		if portDown(down, s.ent[i].Row) || portDown(down, s.ent[i].Col) {
+			continue
+		}
+		t += s.ent[i].Val
+	}
+	return t
+}
 
 // RowPorts returns the distinct ingress ports, ascending. Shared;
 // callers must not mutate.

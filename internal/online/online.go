@@ -15,6 +15,7 @@ package online
 
 import (
 	"fmt"
+	"math"
 	"slices"
 	"sort"
 
@@ -215,10 +216,34 @@ func (s *State) prioritizeList(policy Policy) bool {
 		s.obs.SortSkips.Inc()
 		return true
 	case SEBF:
+		if s.failedCount > 0 {
+			// Under port failures the bottleneck is computed over the
+			// serviceable submatrix only, so parked demand does not
+			// distort the order; a fully stranded coflow (masked load
+			// 0 but demand remaining) sorts last.
+			for _, st := range list {
+				if ml := st.demand.LoadMasked(s.failed); ml > 0 {
+					st.prio = float64(ml) / st.weight
+				} else {
+					st.prio = math.Inf(1)
+				}
+			}
+			break
+		}
 		for _, st := range list {
 			st.prio = float64(st.demand.Load()) / st.weight
 		}
 	case WSPT:
+		if s.failedCount > 0 {
+			for _, st := range list {
+				if mt := st.demand.TotalMasked(s.failed); mt > 0 {
+					st.prio = float64(mt) / st.weight
+				} else {
+					st.prio = math.Inf(1)
+				}
+			}
+			break
+		}
 		for _, st := range list {
 			st.prio = float64(st.demand.Total()) / st.weight
 		}

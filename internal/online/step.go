@@ -43,6 +43,17 @@ type State struct {
 	// O(n) sorted-check.
 	fifoSorted bool
 
+	// failed marks ports taken offline by FailPort. A failed port is
+	// excluded from every matching (its busy flags are pre-set before
+	// the scan), so demand touching it is parked — it stays in the
+	// coflow's remaining demand, is never served and never dropped, and
+	// resumes draining after RecoverPort. While any port is down the
+	// SEBF/WSPT priorities switch to the masked statistics so stranded
+	// demand does not distort the order (a fully stranded coflow sorts
+	// last).
+	failed      []bool
+	failedCount int
+
 	// obs is the per-stage instrumentation (see obs.go). The zero
 	// value is the disabled mode: every hook is a nil-safe no-op, so
 	// an uninstrumented State keeps the zero-allocation, branch-only
@@ -106,6 +117,7 @@ func NewState(ports int) *State {
 		index:   make(map[int]*cfState),
 		rowBusy: make([]bool, ports),
 		colBusy: make([]bool, ports),
+		failed:  make([]bool, ports),
 	}
 }
 
@@ -210,6 +222,60 @@ func (s *State) Demand(key int) []matrix.SparseEntry {
 		}
 	}
 	return out
+}
+
+// FailPort takes port p offline: both its ingress and egress side
+// leave the matching until RecoverPort. Demand already routed through
+// p is parked, not dropped — it stays in its coflow's remaining demand
+// and the coflow cannot complete until the port recovers (demand
+// conservation holds across the failure). Idempotent; fails only on an
+// out-of-range port.
+func (s *State) FailPort(p int) error {
+	if p < 0 || p >= s.ports {
+		return fmt.Errorf("online: port %d outside %d ports", p, s.ports)
+	}
+	if !s.failed[p] {
+		s.failed[p] = true
+		s.failedCount++
+		// The previous matching may use p, and priorities change under
+		// the mask: force a full (masked) scan next slot.
+		s.canReplay = false
+	}
+	return nil
+}
+
+// RecoverPort brings port p back online; parked demand resumes
+// draining on the next slot. Idempotent; fails only on an out-of-range
+// port.
+func (s *State) RecoverPort(p int) error {
+	if p < 0 || p >= s.ports {
+		return fmt.Errorf("online: port %d outside %d ports", p, s.ports)
+	}
+	if s.failed[p] {
+		s.failed[p] = false
+		s.failedCount--
+		s.canReplay = false
+	}
+	return nil
+}
+
+// PortFailed reports whether port p is currently offline.
+func (s *State) PortFailed(p int) bool {
+	return p >= 0 && p < s.ports && s.failed[p]
+}
+
+// FailedPortCount returns the number of ports currently offline.
+func (s *State) FailedPortCount() int { return s.failedCount }
+
+// FailedPorts appends the offline ports to dst in ascending order and
+// returns it; pass a reused buffer to avoid allocation.
+func (s *State) FailedPorts(dst []int) []int {
+	for p, down := range s.failed {
+		if down {
+			dst = append(dst, p)
+		}
+	}
+	return dst
 }
 
 // NextRelease returns the earliest release strictly after t among live
@@ -324,6 +390,17 @@ func (s *State) step(slot int64, reorder func([]*cfState)) StepResult {
 	for i := range s.colBusy {
 		s.colBusy[i] = false
 	}
+	// A failed port is modeled as permanently busy on both sides: the
+	// greedy scan below then parks any demand touching it for free,
+	// with no extra branch on the per-entry fast path.
+	if s.failedCount > 0 {
+		for p, down := range s.failed {
+			if down {
+				s.rowBusy[p] = true
+				s.colBusy[p] = true
+			}
+		}
+	}
 	s.served = s.served[:0]
 	s.servedAt = s.servedAt[:0]
 	s.completed = s.completed[:0]
@@ -353,7 +430,7 @@ func (s *State) step(slot int64, reorder func([]*cfState)) StepResult {
 			s.completed = append(s.completed, st.key)
 			s.drop(st)
 		}
-		if len(s.served) == s.ports {
+		if len(s.served) == s.ports-s.failedCount {
 			s.obs.SaturationExits.Inc()
 			break
 		}

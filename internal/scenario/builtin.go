@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// builtins are the named stress scenarios shipped with the repo. They
+// are deliberately modest (tens of coflows, ≤ 32 ports) so the whole
+// catalog smoke-replays in seconds under `make scenarios`, while still
+// covering each stressor class: steady arrivals, bursts, diurnal
+// ramps, an adversarial single-port convoy, cancellation churn with
+// re-registration, and port failures mid-flight.
+var builtins = map[string]Config{
+	"poisson-baseline": {
+		Name: "poisson-baseline", Ports: 16, Coflows: 60, Seed: 1,
+		Arrival: Arrival{Kind: "poisson", Mean: 4},
+		Shape:   Shape{Kind: "pareto", MaxFlowSize: 50, MaxWidth: 6},
+	},
+	"bursty-mmpp": {
+		Name: "bursty-mmpp", Ports: 16, Coflows: 60, Seed: 2,
+		Arrival: Arrival{Kind: "mmpp", Mean: 8, Burst: 1, SwitchEvery: 20},
+		Shape:   Shape{Kind: "pareto", MaxFlowSize: 50, MaxWidth: 6},
+	},
+	"diurnal": {
+		Name: "diurnal", Ports: 16, Coflows: 60, Seed: 3,
+		Arrival: Arrival{Kind: "diurnal", Mean: 5, Period: 80},
+		Shape:   Shape{Kind: "hotspot", MaxFlowSize: 40, MaxWidth: 5, HotPorts: 3, HotBias: 0.7},
+	},
+	"heavy-tail-convoy": {
+		Name: "heavy-tail-convoy", Ports: 16, Coflows: 50, Seed: 4,
+		Arrival: Arrival{Kind: "poisson", Mean: 2},
+		Shape:   Shape{Kind: "convoy", MaxFlowSize: 80, ParetoAlpha: 0.9, ConvoyPort: 0},
+	},
+	"churn-cancel": {
+		Name: "churn-cancel", Ports: 16, Coflows: 60, Seed: 5,
+		Arrival: Arrival{Kind: "poisson", Mean: 3},
+		Shape:   Shape{Kind: "pareto", MaxFlowSize: 60, MaxWidth: 6},
+		Churn:   Churn{CancelProb: 0.4, MeanDelay: 6, ReRegister: true, ProbeEvery: 10},
+	},
+	"port-failure": {
+		Name: "port-failure", Ports: 16, Coflows: 50, Seed: 6,
+		Arrival: Arrival{Kind: "poisson", Mean: 3},
+		Shape:   Shape{Kind: "pareto", MaxFlowSize: 40, MaxWidth: 5},
+		Churn:   Churn{CancelProb: 0.15, MeanDelay: 5},
+		Failures: []FailureWindow{
+			{Port: 2, At: 20, RecoverAt: 60},
+			{Port: 7, At: 40, RecoverAt: 90},
+		},
+	},
+}
+
+// Builtins lists the built-in scenario names, sorted.
+func Builtins() []string {
+	names := make([]string, 0, len(builtins))
+	for name := range builtins {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Builtin expands the named built-in scenario into a script.
+func Builtin(name string) (*Script, error) {
+	cfg, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown builtin %q (have %v)", name, Builtins())
+	}
+	return Generate(cfg)
+}

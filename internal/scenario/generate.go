@@ -1,0 +1,296 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"coflow/internal/coflowmodel"
+)
+
+// Arrival is a pluggable arrival process: it draws the gaps between
+// consecutive coflow releases.
+type Arrival struct {
+	// Kind is "poisson" (memoryless gaps), "mmpp" (a two-state
+	// Markov-modulated Poisson process alternating calm and burst
+	// phases) or "diurnal" (a sinusoidal rate ramp over Period slots,
+	// the classic day/night load curve).
+	Kind string `json:"kind"`
+	// Mean is the calm-phase mean interarrival gap in slots.
+	Mean float64 `json:"mean"`
+	// Burst is the burst-phase mean gap (mmpp only; must be < Mean).
+	Burst float64 `json:"burst,omitempty"`
+	// SwitchEvery is the mean phase length in slots (mmpp only).
+	SwitchEvery float64 `json:"switch_every,omitempty"`
+	// Period is the diurnal cycle length in slots (diurnal only).
+	Period float64 `json:"period,omitempty"`
+}
+
+// Shape is a pluggable demand shaper: it draws one coflow's flows.
+type Shape struct {
+	// Kind is "pareto" (the trace generator's heavy-tailed shuffle),
+	// "hotspot" (egress picks concentrate on a few hot ports) or
+	// "convoy" (every coflow is a thin chain through one victim
+	// egress port — the adversarial single-port pile-up).
+	Kind string `json:"kind"`
+	// MaxFlowSize caps one flow's size (default 100).
+	MaxFlowSize int64 `json:"max_flow_size,omitempty"`
+	// ParetoAlpha shapes the size tail (default 1.26, the trace
+	// calibration; smaller = heavier).
+	ParetoAlpha float64 `json:"pareto_alpha,omitempty"`
+	// MinWidth/MaxWidth clamp the per-side port count (0 = free).
+	MinWidth int `json:"min_width,omitempty"`
+	MaxWidth int `json:"max_width,omitempty"`
+	// HotPorts is how many egress ports carry the skew (hotspot only;
+	// default 2).
+	HotPorts int `json:"hot_ports,omitempty"`
+	// HotBias is the probability an egress pick is redirected to a
+	// hot port (hotspot only; default 0.8).
+	HotBias float64 `json:"hot_bias,omitempty"`
+	// ConvoyPort is the victim egress (convoy only).
+	ConvoyPort int `json:"convoy_port,omitempty"`
+}
+
+// Churn is the cancellation model applied to generated coflows.
+type Churn struct {
+	// CancelProb is the chance a coflow is cancelled mid-flight.
+	CancelProb float64 `json:"cancel_prob,omitempty"`
+	// MeanDelay is the mean gap (slots) between a coflow's release
+	// and its cancellation (default 4).
+	MeanDelay float64 `json:"mean_delay,omitempty"`
+	// ReRegister re-submits a cancelled coflow's demand under the
+	// same key after a further MeanDelay — the retry storm case.
+	ReRegister bool `json:"re_register,omitempty"`
+	// ProbeEvery, when positive, injects a 1-unit probe coflow every
+	// that many slots. Probes are the starvation canary: their
+	// slowdown tail measures how long a minimal coflow can be starved
+	// by the surrounding workload.
+	ProbeEvery int64 `json:"probe_every,omitempty"`
+}
+
+// FailureWindow schedules one port outage.
+type FailureWindow struct {
+	Port      int   `json:"port"`
+	At        int64 `json:"at"`
+	RecoverAt int64 `json:"recover_at"`
+}
+
+// Config assembles a generator run: fabric, arrival process, shaper,
+// churn and failure schedule. Generation is deterministic in Seed.
+type Config struct {
+	Name     string          `json:"name"`
+	Ports    int             `json:"ports"`
+	Coflows  int             `json:"coflows"`
+	Seed     int64           `json:"seed"`
+	Arrival  Arrival         `json:"arrival"`
+	Shape    Shape           `json:"shape"`
+	Churn    Churn           `json:"churn,omitempty"`
+	Failures []FailureWindow `json:"failures,omitempty"`
+}
+
+// Validate checks the generator configuration.
+func (c *Config) Validate() error {
+	if c.Ports <= 0 {
+		return fmt.Errorf("scenario: non-positive port count %d", c.Ports)
+	}
+	if c.Coflows <= 0 {
+		return fmt.Errorf("scenario: non-positive coflow count %d", c.Coflows)
+	}
+	switch c.Arrival.Kind {
+	case "poisson":
+	case "mmpp":
+		if c.Arrival.Burst <= 0 || c.Arrival.Burst >= c.Arrival.Mean {
+			return fmt.Errorf("scenario: mmpp burst gap %g must be in (0, mean %g)", c.Arrival.Burst, c.Arrival.Mean)
+		}
+	case "diurnal":
+		if c.Arrival.Period <= 0 {
+			return fmt.Errorf("scenario: diurnal needs a positive period, got %g", c.Arrival.Period)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown arrival kind %q", c.Arrival.Kind)
+	}
+	if c.Arrival.Mean <= 0 {
+		return fmt.Errorf("scenario: non-positive mean interarrival %g", c.Arrival.Mean)
+	}
+	switch c.Shape.Kind {
+	case "pareto", "hotspot":
+	case "convoy":
+		if c.Shape.ConvoyPort < 0 || c.Shape.ConvoyPort >= c.Ports {
+			return fmt.Errorf("scenario: convoy port %d outside %d ports", c.Shape.ConvoyPort, c.Ports)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown shape kind %q", c.Shape.Kind)
+	}
+	if c.Shape.MinWidth < 0 || c.Shape.MaxWidth < 0 ||
+		c.Shape.MinWidth > c.Ports || c.Shape.MaxWidth > c.Ports ||
+		(c.Shape.MaxWidth > 0 && c.Shape.MinWidth > c.Shape.MaxWidth) {
+		return fmt.Errorf("scenario: bad width bounds %d/%d for %d ports", c.Shape.MinWidth, c.Shape.MaxWidth, c.Ports)
+	}
+	if c.Churn.CancelProb < 0 || c.Churn.CancelProb > 1 {
+		return fmt.Errorf("scenario: cancel probability %g outside [0,1]", c.Churn.CancelProb)
+	}
+	for i, fw := range c.Failures {
+		if fw.Port < 0 || fw.Port >= c.Ports {
+			return fmt.Errorf("scenario: failure %d port %d outside %d ports", i, fw.Port, c.Ports)
+		}
+		if fw.At < 0 || fw.RecoverAt <= fw.At {
+			return fmt.Errorf("scenario: failure %d window [%d,%d) is empty", i, fw.At, fw.RecoverAt)
+		}
+	}
+	return nil
+}
+
+// Generate expands the configuration into a validated Script.
+func Generate(cfg Config) (*Script, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Script{Name: cfg.Name, Ports: cfg.Ports}
+
+	key := 0
+	var release int64
+	var lastRelease int64
+	for k := 0; k < cfg.Coflows; k++ {
+		if k > 0 {
+			release += gap(rng, cfg.Arrival, release)
+		}
+		lastRelease = release
+		key++
+		flows := cfg.Shape.flows(rng, cfg.Ports)
+		s.Events = append(s.Events, Event{Slot: release, Op: OpRegister, Key: key, Weight: 1, Flows: flows})
+		if rng.Float64() < cfg.Churn.CancelProb {
+			meanDelay := cfg.Churn.MeanDelay
+			if meanDelay <= 0 {
+				meanDelay = 4
+			}
+			cancelAt := release + 1 + int64(rng.ExpFloat64()*meanDelay)
+			s.Events = append(s.Events, Event{Slot: cancelAt, Op: OpCancel, Key: key})
+			if cfg.Churn.ReRegister {
+				// Same key, strictly after the cancel: the script-level
+				// lifecycle (register → cancel → register) stays valid
+				// whether or not the original completed first.
+				reAt := cancelAt + 1 + int64(rng.ExpFloat64()*meanDelay)
+				s.Events = append(s.Events, Event{Slot: reAt, Op: OpRegister, Key: key, Weight: 1, Flows: flows})
+			}
+		}
+	}
+	if pe := cfg.Churn.ProbeEvery; pe > 0 {
+		for at := pe; at <= lastRelease; at += pe {
+			key++
+			s.Events = append(s.Events, Event{Slot: at, Op: OpRegister, Key: key, Weight: 1,
+				Flows: []coflowmodel.Flow{{Src: rng.Intn(cfg.Ports), Dst: rng.Intn(cfg.Ports), Size: 1}}})
+		}
+	}
+	for _, fw := range cfg.Failures {
+		s.Events = append(s.Events,
+			Event{Slot: fw.At, Op: OpFail, Port: fw.Port},
+			Event{Slot: fw.RecoverAt, Op: OpRecover, Port: fw.Port})
+	}
+	sortEvents(s.Events)
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: generated invalid script: %w", err)
+	}
+	return s, nil
+}
+
+// gap draws the next interarrival gap (≥ 0 slots) at absolute time t.
+func gap(rng *rand.Rand, a Arrival, t int64) int64 {
+	mean := a.Mean
+	switch a.Kind {
+	case "mmpp":
+		// Approximate the two-state modulated process by picking the
+		// phase from its stationary split (equal mean phase lengths →
+		// 50/50) per arrival; SwitchEvery biases toward calm.
+		p := 0.5
+		if a.SwitchEvery > 0 {
+			p = 1 / (1 + a.SwitchEvery/a.Mean)
+		}
+		if rng.Float64() > p {
+			mean = a.Burst
+		}
+	case "diurnal":
+		// Rate swings ×4 over the period: gaps shrink at the peak and
+		// stretch in the trough.
+		phase := 2 * math.Pi * float64(t) / a.Period
+		mean = a.Mean * (1 + 0.75*math.Cos(phase))
+		if mean < a.Mean/4 {
+			mean = a.Mean / 4
+		}
+	}
+	return int64(math.Round(rng.ExpFloat64() * mean))
+}
+
+// flows draws one coflow's demand under the shaper.
+func (sh Shape) flows(rng *rand.Rand, ports int) []coflowmodel.Flow {
+	maxSize := sh.MaxFlowSize
+	if maxSize <= 0 {
+		maxSize = 100
+	}
+	alpha := sh.ParetoAlpha
+	if alpha <= 0 {
+		alpha = 1.26
+	}
+	size := func() int64 {
+		v := int64(math.Ceil(math.Pow(1-rng.Float64(), -1/alpha)))
+		if v > maxSize {
+			v = maxSize
+		}
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	if sh.Kind == "convoy" {
+		// One long flow into the victim egress: the whole scenario
+		// piles its demand onto a single port's capacity.
+		return []coflowmodel.Flow{{Src: rng.Intn(ports), Dst: sh.ConvoyPort, Size: size()}}
+	}
+	width := func() int {
+		w := 1 + rng.Intn(max(1, ports/2))
+		if sh.MinWidth > 0 && w < sh.MinWidth {
+			w = sh.MinWidth
+		}
+		if sh.MaxWidth > 0 && w > sh.MaxWidth {
+			w = sh.MaxWidth
+		}
+		if w > ports {
+			w = ports
+		}
+		return w
+	}
+	srcs := rng.Perm(ports)[:width()]
+	dsts := rng.Perm(ports)[:width()]
+	if sh.Kind == "hotspot" {
+		hot := sh.HotPorts
+		if hot <= 0 {
+			hot = 2
+		}
+		if hot > ports {
+			hot = ports
+		}
+		bias := sh.HotBias
+		if bias <= 0 {
+			bias = 0.8
+		}
+		for i := range dsts {
+			if rng.Float64() < bias {
+				dsts[i] = rng.Intn(hot)
+			}
+		}
+	}
+	var flows []coflowmodel.Flow
+	for _, src := range srcs {
+		for _, dst := range dsts {
+			flows = append(flows, coflowmodel.Flow{Src: src, Dst: dst, Size: size()})
+		}
+	}
+	return flows
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"coflow/internal/coflowmodel"
+)
+
+func validScript() *Script {
+	return &Script{
+		Name:  "t",
+		Ports: 4,
+		Events: []Event{
+			{Slot: 0, Op: OpRegister, Key: 1, Weight: 1, Flows: []coflowmodel.Flow{{Src: 0, Dst: 1, Size: 3}}},
+			{Slot: 1, Op: OpFail, Port: 2},
+			{Slot: 2, Op: OpCancel, Key: 1},
+			{Slot: 3, Op: OpRegister, Key: 1, Weight: 2, Flows: []coflowmodel.Flow{{Src: 1, Dst: 0, Size: 1}}},
+			{Slot: 4, Op: OpRecover, Port: 2},
+		},
+	}
+}
+
+func TestScriptValidate(t *testing.T) {
+	if err := validScript().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mods := map[string]func(*Script){
+		"ports":          func(s *Script) { s.Ports = 0 },
+		"empty":          func(s *Script) { s.Events = nil },
+		"order":          func(s *Script) { s.Events[1].Slot = 99 },
+		"neg-slot":       func(s *Script) { s.Events[0].Slot = -1 },
+		"bad-key":        func(s *Script) { s.Events[0].Key = 0 },
+		"dup-live":       func(s *Script) { s.Events[2] = s.Events[0]; s.Events[2].Slot = 2 },
+		"cancel-unknown": func(s *Script) { s.Events[2].Key = 9 },
+		"flow-range":     func(s *Script) { s.Events[0].Flows[0].Dst = 4 },
+		"neg-size":       func(s *Script) { s.Events[0].Flows[0].Size = -1 },
+		"no-demand":      func(s *Script) { s.Events[0].Flows[0].Size = 0 },
+		"port-range":     func(s *Script) { s.Events[1].Port = 4 },
+		"bad-op":         func(s *Script) { s.Events[1].Op = "explode" },
+	}
+	for name, mod := range mods {
+		s := validScript()
+		mod(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: invalid script accepted", name)
+		}
+	}
+	// Double cancel without an intervening register is invalid.
+	s := validScript()
+	s.Events = append(s.Events[:4:4], Event{Slot: 5, Op: OpCancel, Key: 1}, Event{Slot: 6, Op: OpCancel, Key: 1})
+	if err := s.Validate(); err == nil {
+		t.Error("double cancel accepted")
+	}
+}
+
+// TestScriptJSONRoundTrip: Parse(Encode(s)) is the identity — the
+// schema the HTTP and in-process drivers share survives serialization
+// byte-for-byte at the struct level.
+func TestScriptJSONRoundTrip(t *testing.T) {
+	for _, name := range Builtins() {
+		s, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := s.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(blob)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("%s: round trip changed the script", name)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, blob := range []string{`{`, `"x"`, `{"name":"a","ports":0,"events":[]}`} {
+		if _, err := Parse([]byte(blob)); err == nil {
+			t.Errorf("Parse(%q) accepted", blob)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	base := builtins["poisson-baseline"]
+	mods := map[string]func(*Config){
+		"ports":        func(c *Config) { c.Ports = 0 },
+		"coflows":      func(c *Config) { c.Coflows = 0 },
+		"arrival-kind": func(c *Config) { c.Arrival.Kind = "quantum" },
+		"arrival-mean": func(c *Config) { c.Arrival.Mean = 0 },
+		"mmpp-burst":   func(c *Config) { c.Arrival = Arrival{Kind: "mmpp", Mean: 4, Burst: 5} },
+		"diurnal":      func(c *Config) { c.Arrival = Arrival{Kind: "diurnal", Mean: 4} },
+		"shape-kind":   func(c *Config) { c.Shape.Kind = "cursed" },
+		"convoy-port":  func(c *Config) { c.Shape = Shape{Kind: "convoy", ConvoyPort: 99} },
+		"widths":       func(c *Config) { c.Shape.MinWidth = 9; c.Shape.MaxWidth = 2 },
+		"cancel-prob":  func(c *Config) { c.Churn.CancelProb = 1.5 },
+		"fail-window":  func(c *Config) { c.Failures = []FailureWindow{{Port: 0, At: 5, RecoverAt: 5}} },
+		"fail-port":    func(c *Config) { c.Failures = []FailureWindow{{Port: 99, At: 5, RecoverAt: 9}} },
+	}
+	for name, mod := range mods {
+		cfg := base
+		mod(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := builtins["churn-cancel"]
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different scripts")
+	}
+	cfg.Seed++
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical scripts")
+	}
+}
+
+func TestBuiltinsCoverStressors(t *testing.T) {
+	names := Builtins()
+	if len(names) < 6 {
+		t.Fatalf("only %d builtins: %v", len(names), names)
+	}
+	if _, err := Builtin("no-such-scenario"); err == nil {
+		t.Fatal("unknown builtin accepted")
+	}
+	churn, err := Builtin("churn-cancel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancels := 0
+	for _, ev := range churn.Events {
+		if ev.Op == OpCancel {
+			cancels++
+		}
+	}
+	if cancels == 0 {
+		t.Fatal("churn-cancel generated no cancels")
+	}
+	failure, err := Builtin("port-failure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := 0
+	for _, ev := range failure.Events {
+		if ev.Op == OpFail {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("port-failure generated %d fail events, want 2", fails)
+	}
+	convoy, err := Builtin("heavy-tail-convoy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range convoy.Events {
+		for _, f := range ev.Flows {
+			if f.Dst != 0 {
+				t.Fatalf("convoy flow targets port %d, want the victim 0", f.Dst)
+			}
+		}
+	}
+}

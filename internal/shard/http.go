@@ -13,33 +13,45 @@ import (
 // Handler returns the cluster's HTTP control plane. It is the
 // single-fabric daemon's API made shard-aware:
 //
-//	POST   /v1/coflows      register one coflow (object body) or many
-//	                        (array body, per-item results)
-//	GET    /v1/coflows      every coflow across all fabrics
-//	GET    /v1/coflows/{id} one coflow's status (+ owning fabric)
-//	DELETE /v1/coflows/{id} cancel, wherever the coflow lives
-//	GET    /v1/schedule     per-fabric matchings (?fabric=K filters)
-//	GET    /v1/metrics      cross-shard rollup + per-shard detail
-//	GET    /metrics         Prometheus text: cluster registry plus
-//	                        every fabric's registry under fabric="i"
-//	GET    /healthz         liveness + per-fabric slots
+//	POST   /v1/coflows              register one coflow (object body) or
+//	                                many (array body, per-item results)
+//	GET    /v1/coflows              every coflow across all fabrics
+//	DELETE /v1/coflows              bulk-cancel (JSON array of IDs,
+//	                                per-item results + owning fabric)
+//	GET    /v1/coflows/{id}         one coflow's status (+ owning fabric)
+//	DELETE /v1/coflows/{id}         cancel, wherever the coflow lives
+//	POST   /v1/ports/{port}/fail    take a port offline on every fabric
+//	                                that has it (?fabric=K targets one)
+//	POST   /v1/ports/{port}/recover bring a failed port back
+//	GET    /v1/schedule             per-fabric matchings (?fabric=K filters)
+//	GET    /v1/metrics              cross-shard rollup + per-shard detail
+//	GET    /metrics                 Prometheus text: cluster registry plus
+//	                                every fabric's registry under fabric="i"
+//	GET    /healthz                 liveness + per-fabric slots
 //
 // All GETs read atomic snapshots and the amortized aggregate; no
 // request ever waits on a fabric loop. Errors follow the daemon's
 // structured {"error","kind"} contract, with kind unknown_fabric for
-// registrations or filters naming a fabric the cluster does not have.
+// registrations or filters naming a fabric the cluster does not have,
+// and kind terminal_coflow for cancelling an already completed or
+// cancelled coflow.
 func (c *Cluster) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/coflows", c.handleRegister)
 	mux.HandleFunc("GET /v1/coflows", c.handleList)
+	mux.HandleFunc("DELETE /v1/coflows", c.handleBulkCancel)
 	mux.HandleFunc("GET /v1/coflows/{id}", c.handleGet)
 	mux.HandleFunc("DELETE /v1/coflows/{id}", c.handleCancel)
+	mux.HandleFunc("POST /v1/ports/{port}/fail", c.handlePortFail)
+	mux.HandleFunc("POST /v1/ports/{port}/recover", c.handlePortRecover)
 	mux.HandleFunc("GET /v1/schedule", c.handleSchedule)
 	mux.HandleFunc("GET /v1/metrics", c.handleMetrics)
 	mux.HandleFunc("GET /metrics", c.handlePrometheus)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
-	mux.HandleFunc("/v1/coflows", daemon.MethodNotAllowed("GET, POST"))
+	mux.HandleFunc("/v1/coflows", daemon.MethodNotAllowed("DELETE, GET, POST"))
 	mux.HandleFunc("/v1/coflows/{id}", daemon.MethodNotAllowed("DELETE, GET"))
+	mux.HandleFunc("/v1/ports/{port}/fail", daemon.MethodNotAllowed("POST"))
+	mux.HandleFunc("/v1/ports/{port}/recover", daemon.MethodNotAllowed("POST"))
 	mux.HandleFunc("/v1/schedule", daemon.MethodNotAllowed("GET"))
 	mux.HandleFunc("/v1/metrics", daemon.MethodNotAllowed("GET"))
 	mux.HandleFunc("/metrics", daemon.MethodNotAllowed("GET"))
@@ -111,17 +123,86 @@ func (c *Cluster) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := c.Cancel(id); err != nil {
-		switch {
-		case errors.Is(err, ErrUnknownCoflow):
-			daemon.WriteError(w, http.StatusNotFound, "not_found", err.Error())
-		case errors.Is(err, daemon.ErrClosed):
-			daemon.WriteError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
-		default: // known but already completed/cancelled
-			daemon.WriteError(w, http.StatusConflict, "conflict", err.Error())
-		}
+		// ErrUnknownCoflow wraps daemon.ErrUnknownCoflow, so the shared
+		// classifier answers exactly like the single-fabric plane:
+		// not_found for an unknown ID, terminal_coflow 409 for a coflow
+		// that already completed or was cancelled.
+		code, kind := daemon.CancelErrorStatus(err)
+		daemon.WriteError(w, code, kind, err.Error())
 		return
 	}
 	daemon.WriteJSON(w, http.StatusOK, map[string]any{"id": id, "cancelled": true})
+}
+
+func (c *Cluster) handleBulkCancel(w http.ResponseWriter, r *http.Request) {
+	items := daemon.ServeBulkCancel(w, r, c.maxBody, c.CancelFabric)
+	if items > 0 {
+		c.obs.bulkRequests.Inc()
+		c.obs.bulkItems.Add(int64(items))
+	}
+}
+
+// pathFabric parses the optional ?fabric=K query; -1 means every
+// fabric.
+func (c *Cluster) pathFabric(w http.ResponseWriter, r *http.Request) (int, bool) {
+	q := r.URL.Query().Get("fabric")
+	if q == "" {
+		return -1, true
+	}
+	k, err := strconv.Atoi(q)
+	if err != nil || k < 0 || k >= len(c.fabrics) {
+		daemon.WriteError(w, http.StatusBadRequest, "unknown_fabric",
+			"fabric must be an integer in 0.."+strconv.Itoa(len(c.fabrics)-1))
+		return 0, false
+	}
+	return k, true
+}
+
+// pathPort parses the {port} path segment.
+func pathPort(w http.ResponseWriter, r *http.Request) (int, bool) {
+	p, err := strconv.Atoi(r.PathValue("port"))
+	if err != nil || p < 0 {
+		daemon.WriteError(w, http.StatusBadRequest, "validation", "port must be a non-negative integer")
+		return 0, false
+	}
+	return p, true
+}
+
+func (c *Cluster) handlePortFail(w http.ResponseWriter, r *http.Request) {
+	c.servePortOp(w, r, true)
+}
+
+func (c *Cluster) handlePortRecover(w http.ResponseWriter, r *http.Request) {
+	c.servePortOp(w, r, false)
+}
+
+func (c *Cluster) servePortOp(w http.ResponseWriter, r *http.Request, fail bool) {
+	port, ok := pathPort(w, r)
+	if !ok {
+		return
+	}
+	fabric, ok := c.pathFabric(w, r)
+	if !ok {
+		return
+	}
+	var err error
+	if fail {
+		err = c.FailPort(fabric, port)
+	} else {
+		err = c.RecoverPort(fabric, port)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, daemon.ErrClosed):
+			daemon.WriteError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+		case errors.Is(err, daemon.ErrUnknownFabric):
+			daemon.WriteError(w, http.StatusBadRequest, "unknown_fabric", err.Error())
+		default:
+			daemon.WriteError(w, http.StatusBadRequest, "validation", err.Error())
+		}
+		return
+	}
+	daemon.WriteJSON(w, http.StatusOK, map[string]any{"port": port, "fabric": fabric, "failed": fail})
 }
 
 // fabricSchedule is one fabric's slice of GET /v1/schedule.

@@ -75,8 +75,8 @@ func TestHTTPSingleRegisterLifecycle(t *testing.T) {
 	var errBody struct {
 		Kind string `json:"kind"`
 	}
-	if code, _ := doJSON(t, "DELETE", idPath, "", &errBody); code != http.StatusConflict || errBody.Kind != "conflict" {
-		t.Fatalf("second DELETE = %d kind=%q, want 409 conflict", code, errBody.Kind)
+	if code, _ := doJSON(t, "DELETE", idPath, "", &errBody); code != http.StatusConflict || errBody.Kind != "terminal_coflow" {
+		t.Fatalf("second DELETE = %d kind=%q, want 409 terminal_coflow", code, errBody.Kind)
 	}
 	if code, _ := doJSON(t, "GET", srv.URL+"/v1/coflows/99999", "", &errBody); code != http.StatusNotFound || errBody.Kind != "not_found" {
 		t.Fatalf("GET unknown = %d kind=%q, want 404 not_found", code, errBody.Kind)
@@ -275,5 +275,94 @@ func TestHTTPMethodNotAllowed(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") == "" {
 		t.Fatalf("PUT = %d Allow=%q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+}
+
+// TestHTTPBulkCancel: the cluster-wide DELETE /v1/coflows resolves a
+// mixed array of IDs independently, reports the owning fabric for
+// clean cancels, and meters the bulk plane — same index-addressed
+// format as bulk registration.
+func TestHTTPBulkCancel(t *testing.T) {
+	c, srv := newTestServer(t, Config{Shards: 4})
+	live, _, liveFabric, err := c.Register(oneFlow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	terminal, _, _, err := c.Register(oneFlow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel(terminal); err != nil {
+		t.Fatal(err)
+	}
+
+	body := "[" + strconv.Itoa(live) + ", 99999, " + strconv.Itoa(terminal) + ", 0]"
+	var resp daemon.BulkResponse
+	if code, raw := doJSON(t, "DELETE", srv.URL+"/v1/coflows", body, &resp); code != http.StatusOK {
+		t.Fatalf("bulk DELETE = %d %s", code, raw)
+	}
+	if resp.OK != 1 || resp.Failed != 3 || len(resp.Results) != 4 {
+		t.Fatalf("bulk response = %+v, want 1 ok / 3 failed / 4 results", resp)
+	}
+	if r := resp.Results[0]; r.Index != 0 || r.ID != live || r.Fabric != liveFabric || r.Kind != "" {
+		t.Fatalf("live item = %+v, want clean cancel on fabric %d", r, liveFabric)
+	}
+	if r := resp.Results[1]; r.Kind != "not_found" {
+		t.Fatalf("unknown item = %+v, want not_found", r)
+	}
+	if r := resp.Results[2]; r.Kind != "terminal_coflow" {
+		t.Fatalf("terminal item = %+v, want terminal_coflow", r)
+	}
+	if r := resp.Results[3]; r.Kind != "validation" {
+		t.Fatalf("non-positive item = %+v, want validation", r)
+	}
+	if _, cs, ok := c.Owner(live); !ok || cs.State != "cancelled" {
+		t.Fatalf("live coflow after bulk cancel: %+v", cs)
+	}
+
+	m := c.Metrics()
+	if m.BulkRequests != 1 || m.BulkItems != 4 {
+		t.Fatalf("bulk counters = %d/%d, want 1/4", m.BulkRequests, m.BulkItems)
+	}
+}
+
+// TestHTTPPortOps: the port failure routes hit every fabric by
+// default, one with ?fabric=K, and classify bad fabrics and ports
+// with the structured kinds.
+func TestHTTPPortOps(t *testing.T) {
+	c, srv := newTestServer(t, Config{Shards: 3})
+	var ack struct {
+		Port   int  `json:"port"`
+		Fabric int  `json:"fabric"`
+		Failed bool `json:"failed"`
+	}
+	if code, raw := doJSON(t, "POST", srv.URL+"/v1/ports/1/fail", "", &ack); code != http.StatusOK ||
+		ack.Port != 1 || ack.Fabric != -1 || !ack.Failed {
+		t.Fatalf("cluster-wide fail = %d %s", code, raw)
+	}
+	for i, d := range c.fabrics {
+		if got := d.Snapshot().Metrics.PortsFailed; got != 1 {
+			t.Fatalf("fabric %d ports_failed = %d, want 1", i, got)
+		}
+	}
+	if code, raw := doJSON(t, "POST", srv.URL+"/v1/ports/1/recover?fabric=2", "", &ack); code != http.StatusOK ||
+		ack.Fabric != 2 || ack.Failed {
+		t.Fatalf("fabric-2 recover = %d %s", code, raw)
+	}
+	if got := c.fabrics[2].Snapshot().Metrics.PortsFailed; got != 0 {
+		t.Fatalf("fabric 2 ports_failed = %d after recover, want 0", got)
+	}
+	if got := c.fabrics[0].Snapshot().Metrics.PortsFailed; got != 1 {
+		t.Fatalf("fabric 0 ports_failed = %d, want still 1", got)
+	}
+
+	var errBody struct {
+		Kind string `json:"kind"`
+	}
+	if code, _ := doJSON(t, "POST", srv.URL+"/v1/ports/1/fail?fabric=9", "", &errBody); code != http.StatusBadRequest || errBody.Kind != "unknown_fabric" {
+		t.Fatalf("fabric=9 = %d kind=%q, want 400 unknown_fabric", code, errBody.Kind)
+	}
+	if code, _ := doJSON(t, "POST", srv.URL+"/v1/ports/99/fail", "", &errBody); code != http.StatusBadRequest || errBody.Kind != "validation" {
+		t.Fatalf("port 99 = %d kind=%q, want 400 validation", code, errBody.Kind)
 	}
 }

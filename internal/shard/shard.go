@@ -12,8 +12,11 @@ import (
 )
 
 // ErrUnknownCoflow is returned for operations addressing an ID no
-// fabric has ever seen.
-var ErrUnknownCoflow = errors.New("shard: unknown coflow")
+// fabric has ever seen. It wraps daemon.ErrUnknownCoflow so error
+// classification — and the HTTP planes' not_found mapping via
+// daemon.CancelErrorStatus — is uniform whether a cancel misses on a
+// single fabric or across the whole cluster.
+var ErrUnknownCoflow = fmt.Errorf("shard: %w", daemon.ErrUnknownCoflow)
 
 // Config parametrizes a Cluster.
 type Config struct {
@@ -253,11 +256,64 @@ func (c *Cluster) Owner(id int) (fabric int, cs *daemon.CoflowStatus, ok bool) {
 // Cancel cancels the live coflow with the given cluster ID, wherever
 // it lives.
 func (c *Cluster) Cancel(id int) error {
+	_, err := c.CancelFabric(id)
+	return err
+}
+
+// CancelFabric cancels like Cancel and additionally reports the fabric
+// that owned the coflow; the bulk-cancel HTTP plane uses it to fill
+// index-addressed per-item results.
+func (c *Cluster) CancelFabric(id int) (fabric int, err error) {
 	fabric, _, ok := c.Owner(id)
 	if !ok {
-		return fmt.Errorf("%w %d", ErrUnknownCoflow, id)
+		return 0, fmt.Errorf("%w %d", ErrUnknownCoflow, id)
 	}
-	return c.fabrics[fabric].Cancel(id)
+	return fabric, c.fabrics[fabric].Cancel(id)
+}
+
+// FailPort takes port p offline on fabric k, or on every fabric that
+// has the port when k is negative (heterogeneous clusters skip fabrics
+// too small for it). Demand on a failed port is parked, never dropped
+// (see daemon.FailPort). It fails if k names no fabric, or if no
+// fabric has the port.
+func (c *Cluster) FailPort(fabric, port int) error {
+	return c.portOp(fabric, port, true)
+}
+
+// RecoverPort brings port p back online on fabric k, or on every
+// fabric that has the port when k is negative.
+func (c *Cluster) RecoverPort(fabric, port int) error {
+	return c.portOp(fabric, port, false)
+}
+
+func (c *Cluster) portOp(fabric, port int, fail bool) error {
+	do := func(d *daemon.Daemon) error {
+		if fail {
+			return d.FailPort(port)
+		}
+		return d.RecoverPort(port)
+	}
+	if fabric >= 0 {
+		if fabric >= len(c.fabrics) {
+			return fmt.Errorf("shard: %w %d (cluster has fabrics 0..%d)",
+				daemon.ErrUnknownFabric, fabric, len(c.fabrics)-1)
+		}
+		return do(c.fabrics[fabric])
+	}
+	applied := false
+	for i, d := range c.fabrics {
+		if port >= d.Ports() {
+			continue
+		}
+		if err := do(d); err != nil {
+			return fmt.Errorf("shard: fabric %d: %w", i, err)
+		}
+		applied = true
+	}
+	if !applied {
+		return fmt.Errorf("shard: port %d outside every fabric", port)
+	}
+	return nil
 }
 
 // Tick advances every fabric one slot synchronously, in fabric order.

@@ -46,6 +46,13 @@ type Config struct {
 	// Poisson process with this mean gap (in time units). Zero gives
 	// the paper's experimental setting: all coflows released at 0.
 	MeanInterarrival float64
+
+	// MinWidth and MaxWidth, when positive, clamp the sampled number
+	// of ports per shuffle side. Zero leaves the published width
+	// distribution untouched. The scenario engine uses these to build
+	// convoys (MaxWidth: 1) and all-to-all storms (MinWidth: Ports).
+	MinWidth int
+	MaxWidth int
 }
 
 // DefaultConfig returns the paper-scale configuration (150 ports)
@@ -90,6 +97,18 @@ func (c Config) Validate() error {
 	}
 	if c.MeanInterarrival < 0 {
 		return fmt.Errorf("trace: negative MeanInterarrival %g", c.MeanInterarrival)
+	}
+	if c.MinWidth < 0 || c.MaxWidth < 0 {
+		return fmt.Errorf("trace: negative width bounds %d/%d", c.MinWidth, c.MaxWidth)
+	}
+	if c.MinWidth > c.Ports {
+		return fmt.Errorf("trace: MinWidth %d exceeds %d ports", c.MinWidth, c.Ports)
+	}
+	if c.MaxWidth > c.Ports {
+		return fmt.Errorf("trace: MaxWidth %d exceeds %d ports", c.MaxWidth, c.Ports)
+	}
+	if c.MaxWidth > 0 && c.MinWidth > c.MaxWidth {
+		return fmt.Errorf("trace: MinWidth %d exceeds MaxWidth %d", c.MinWidth, c.MaxWidth)
 	}
 	return nil
 }
@@ -139,31 +158,37 @@ func MustGenerate(cfg Config) *coflowmodel.Instance {
 	return ins
 }
 
-// sampleWidth draws the number of ports on one side of a shuffle.
+// sampleWidth draws the number of ports on one side of a shuffle,
+// then clamps into the configured [MinWidth, MaxWidth] band and the
+// fabric size, so a width can never exceed the port count.
 func sampleWidth(rng *rand.Rand, cfg Config) int {
 	u := rng.Float64()
 	m := cfg.Ports
+	var w int
 	switch {
 	case u < cfg.NarrowFraction:
-		w := 1 + rng.Intn(4) // narrow: 1..4
-		if w > m {
-			w = m
-		}
-		return w
+		w = 1 + rng.Intn(4) // narrow: 1..4
 	case u < cfg.NarrowFraction+cfg.WideFraction:
 		lo := m / 3
 		if lo < 1 {
 			lo = 1
 		}
-		return lo + rng.Intn(m-lo+1) // wide: m/3..m
+		w = lo + rng.Intn(m-lo+1) // wide: m/3..m
 	default:
 		hi := m / 3
 		if hi < 5 {
 			hi = min(5, m)
 		}
 		lo := min(5, hi)
-		return lo + rng.Intn(hi-lo+1) // mid: 5..m/3
+		w = lo + rng.Intn(hi-lo+1) // mid: 5..m/3
 	}
+	if cfg.MinWidth > 0 && w < cfg.MinWidth {
+		w = cfg.MinWidth
+	}
+	if cfg.MaxWidth > 0 && w > cfg.MaxWidth {
+		w = cfg.MaxWidth
+	}
+	return min(w, m)
 }
 
 // samplePorts selects w distinct ports uniformly.
@@ -206,16 +231,24 @@ type Stats struct {
 	TotalUnits  int64
 	MaxLoad     int64 // ρ of the summed demand: a makespan lower bound
 	NarrowCount int   // coflows with ≤ 4 active ports per side
-	WideCount   int   // coflows spanning ≥ Ports/3 on a side
+	WideCount   int   // coflows spanning ≥ max(2, Ports/3) on a side
 	MeanFlows   float64
 }
 
-// Summarize computes workload statistics.
+// Summarize computes workload statistics. A nil or empty instance
+// yields the zero Stats rather than a panic or division by zero.
 func Summarize(ins *coflowmodel.Instance) Stats {
+	if ins == nil {
+		return Stats{}
+	}
 	s := Stats{Coflows: len(ins.Coflows), Ports: ins.Ports}
 	var flows int
-	sum := make([]int64, 0)
-	_ = sum
+	// Floor the wide threshold at 2: on tiny fabrics Ports/3 is 0 and
+	// every coflow — including a single 1×1 flow — would count wide.
+	wideAt := ins.Ports / 3
+	if wideAt < 2 {
+		wideAt = 2
+	}
 	rows := make([]int64, ins.Ports)
 	cols := make([]int64, ins.Ports)
 	for k := range ins.Coflows {
@@ -226,7 +259,7 @@ func Summarize(ins *coflowmodel.Instance) Stats {
 		if in <= 4 && out <= 4 {
 			s.NarrowCount++
 		}
-		if in >= ins.Ports/3 || out >= ins.Ports/3 {
+		if in >= wideAt || out >= wideAt {
 			s.WideCount++
 		}
 		for _, f := range c.Flows {

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"testing"
+
+	"coflow/internal/coflowmodel"
 )
 
 func TestDefaultConfigValid(t *testing.T) {
@@ -216,5 +218,92 @@ func BenchmarkGenerateDefault(b *testing.B) {
 		if _, err := Generate(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestConfigWidthBounds: the width-band edge cases the scenario
+// engine exposes — bounds beyond the port count or inverted — are
+// rejected, not silently generated.
+func TestConfigWidthBounds(t *testing.T) {
+	mods := map[string]func(*Config){
+		"neg-min":      func(c *Config) { c.MinWidth = -1 },
+		"neg-max":      func(c *Config) { c.MaxWidth = -1 },
+		"min-gt-ports": func(c *Config) { c.MinWidth = c.Ports + 1 },
+		"max-gt-ports": func(c *Config) { c.MaxWidth = c.Ports + 1 },
+		"min-gt-max":   func(c *Config) { c.MinWidth = 4; c.MaxWidth = 2 },
+	}
+	for name, mod := range mods {
+		cfg := DefaultConfig()
+		mod(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+// TestGenerateWidthClamped: MinWidth/MaxWidth clamp every shuffle
+// side; MaxWidth 1 builds single-flow convoys, MinWidth Ports builds
+// all-to-all storms, and a width can never exceed the fabric.
+func TestGenerateWidthClamped(t *testing.T) {
+	cfg := BenchConfig()
+	cfg.NumCoflows = 60
+	cfg.MaxWidth = 1
+	for _, c := range MustGenerate(cfg).Coflows {
+		if in, out := c.Width(); in > 1 || out > 1 {
+			t.Fatalf("coflow %d width %dx%d with MaxWidth 1", c.ID, in, out)
+		}
+	}
+	cfg = BenchConfig()
+	cfg.NumCoflows = 10
+	cfg.MinWidth = cfg.Ports
+	for _, c := range MustGenerate(cfg).Coflows {
+		// Zeroed pairs (sparse shuffles) can narrow the realized width,
+		// but each side must reach well past any sampled narrow band.
+		if in, out := c.Width(); in < cfg.Ports/2 || out < cfg.Ports/2 {
+			t.Fatalf("coflow %d width %dx%d with MinWidth %d", c.ID, in, out, cfg.Ports)
+		}
+	}
+	cfg = BenchConfig()
+	cfg.Ports = 2
+	cfg.NumCoflows = 40
+	for _, c := range MustGenerate(cfg).Coflows {
+		if in, out := c.Width(); in > 2 || out > 2 {
+			t.Fatalf("coflow %d width %dx%d exceeds 2 ports", c.ID, in, out)
+		}
+	}
+}
+
+// TestSummarizeEmpty: nil and empty instances summarize to the zero
+// Stats instead of panicking or dividing by zero.
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s != (Stats{}) {
+		t.Fatalf("Summarize(nil) = %+v, want zero", s)
+	}
+	if s := Summarize(&coflowmodel.Instance{}); s != (Stats{}) {
+		t.Fatalf("Summarize(empty) = %+v, want zero", s)
+	}
+}
+
+// TestSummarizeWideThresholdTinyFabric: on a 2-port fabric Ports/3 is
+// 0, and the pre-fix Summarize counted every coflow — even a single
+// 1×1 flow — as wide. The floor of 2 keeps wide meaning "spans the
+// fabric".
+func TestSummarizeWideThresholdTinyFabric(t *testing.T) {
+	ins := &coflowmodel.Instance{
+		Ports: 2,
+		Coflows: []coflowmodel.Coflow{
+			{ID: 1, Weight: 1, Flows: []coflowmodel.Flow{{Src: 0, Dst: 1, Size: 3}}},
+			{ID: 2, Weight: 1, Flows: []coflowmodel.Flow{
+				{Src: 0, Dst: 0, Size: 1}, {Src: 0, Dst: 1, Size: 1},
+				{Src: 1, Dst: 0, Size: 1}, {Src: 1, Dst: 1, Size: 1},
+			}},
+		},
+	}
+	s := Summarize(ins)
+	if s.WideCount != 1 {
+		t.Fatalf("WideCount = %d, want 1 (only the all-to-all coflow)", s.WideCount)
+	}
+	if s.NarrowCount != 2 {
+		t.Fatalf("NarrowCount = %d, want 2", s.NarrowCount)
 	}
 }
