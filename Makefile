@@ -17,7 +17,7 @@ test:
 # smoke (scenarios) and the Step perf regression gate (bench).
 check: lint escapecheck slowcheck scenarios loadtest bench
 	go vet -unsafeptr ./...
-	go test -race ./internal/matrix/... ./internal/matching/... ./internal/obs/... ./internal/online/... ./internal/scenario/... ./internal/switchsim/... ./internal/daemon/... ./internal/shard/...
+	go test -race ./internal/matrix/... ./internal/matching/... ./internal/obs/... ./internal/online/... ./internal/scenario/... ./internal/switchsim/... ./internal/daemon/... ./internal/shard/... ./internal/lp/...
 
 # Project-specific static analysis (internal/lint run by
 # cmd/coflowvet): allocation-freedom of //coflow:allocfree functions,
@@ -47,6 +47,7 @@ slowcheck:
 	go test -tags=slowcheck ./internal/check/
 	go test -race -tags=slowcheck -run=TestChurnSoak ./internal/shard/
 	go test -run='^$$' -fuzz=FuzzStepVsReference -fuzztime=30s ./internal/check/
+	go test -run='^$$' -fuzz=FuzzSparseVsDense -fuzztime=30s ./internal/lp/
 
 # Bounded end-to-end load smoke: coflowload drives an in-process
 # 4-fabric coflowd over loopback HTTP for a few seconds and FAILS on
@@ -65,7 +66,7 @@ scenarios:
 	go run ./cmd/coflowload -selftest -shards 2 -scenario churn-cancel -tick 2ms
 
 # Tracked perf benchmarks, compare-only: runs the per-slot pipeline
-# (Step) and BvN decomposition benches 3×, joins the per-benchmark
+# (Step), BvN decomposition, and LP solve benches 3×, joins the per-benchmark
 # minimum (noise only adds time) against the rolling baseline in
 # bench/baseline.txt, emits $(BENCHOUT), and FAILS if any Step or
 # Decompose benchmark is more than MAXREGRESS percent slower in ns/op
@@ -78,18 +79,18 @@ scenarios:
 # pre-optimization record the PR 2 speedup numbers in EXPERIMENTS.md
 # are measured against.) The JSON report lands in $(BENCHOUT).
 MAXREGRESS ?= 20
-BENCHOUT ?= BENCH_PR8.json
+BENCHOUT ?= BENCH_PR9.json
 bench:
-	go test -bench='^(BenchmarkStep|BenchmarkDecompose)' -benchmem -benchtime=1s -count=3 -run='^$$' \
-		./internal/online/ ./internal/bvn/ > bench/latest.txt
-	go run ./cmd/benchjson -old bench/baseline.txt -gate Step,Decompose -maxregress $(MAXREGRESS) \
+	go test -bench='^(BenchmarkStep|BenchmarkDecompose|BenchmarkLPSolve)' -benchmem -benchtime=1s -count=3 -run='^$$' \
+		./internal/online/ ./internal/bvn/ ./internal/lpmodel/ > bench/latest.txt
+	go run ./cmd/benchjson -old bench/baseline.txt -gate Step,Decompose,LPSolve -maxregress $(MAXREGRESS) \
 		< bench/latest.txt > $(BENCHOUT)
 
 # Rotate the rolling baseline the bench gate compares against. Run on
 # an idle machine and commit the new bench/baseline.txt.
 bench-baseline:
-	go test -bench='^(BenchmarkStep|BenchmarkDecompose)' -benchmem -benchtime=1s -count=3 -run='^$$' \
-		./internal/online/ ./internal/bvn/ | tee bench/baseline.txt
+	go test -bench='^(BenchmarkStep|BenchmarkDecompose|BenchmarkLPSolve)' -benchmem -benchtime=1s -count=3 -run='^$$' \
+		./internal/online/ ./internal/bvn/ ./internal/lpmodel/ | tee bench/baseline.txt
 
 # Every benchmark in the repository (experiments included; slow).
 bench-all:

@@ -100,6 +100,49 @@ func goldenSchedule(t *testing.T, ins *coflow.Instance) []goldenRun {
 	return runs
 }
 
+// TestGoldenSparseLP re-runs every LP-ordered golden configuration
+// with the sparse revised-simplex method and requires output
+// byte-identical to the dense tableau oracle. Together with TestGolden
+// this pins the sparse path against the committed golden files: any
+// pivot-rule or presolve change that shifts the HLP ordering on the
+// worked example or the 20-coflow instance fails here.
+func TestGoldenSparseLP(t *testing.T) {
+	for name, ins := range goldenInstances(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, b := range []struct {
+				name string
+				opts coflow.Options
+			}{
+				{"HLP+grouping", coflow.Options{Ordering: coflow.OrderLP, Grouping: true}},
+				{"HLP+grouping+backfill", coflow.Options{Ordering: coflow.OrderLP, Grouping: true, Backfill: true}},
+			} {
+				dense, err := coflow.Schedule(ins, b.opts)
+				if err != nil {
+					t.Fatalf("%s dense: %v", b.name, err)
+				}
+				sp := b.opts
+				sp.SparseLP = true
+				sparse, err := coflow.Schedule(ins, sp)
+				if err != nil {
+					t.Fatalf("%s sparse: %v", b.name, err)
+				}
+				if sparse.TotalWeighted != dense.TotalWeighted || sparse.Makespan != dense.Makespan {
+					t.Fatalf("%s: sparse LP changed objective/makespan: %.0f/%d vs %.0f/%d",
+						b.name, sparse.TotalWeighted, sparse.Makespan, dense.TotalWeighted, dense.Makespan)
+				}
+				if !reflect.DeepEqual(sparse.Order, dense.Order) {
+					t.Fatalf("%s: sparse LP changed the HLP order: %v vs %v",
+						b.name, sparse.Order, dense.Order)
+				}
+				if !reflect.DeepEqual(sparse.Completion, dense.Completion) {
+					t.Fatalf("%s: sparse LP changed per-coflow completions: %v vs %v",
+						b.name, sparse.Completion, dense.Completion)
+				}
+			}
+		})
+	}
+}
+
 // TestGolden locks the exact output — per-coflow completion slots and
 // the weighted objective — of every deterministic scheduler on two
 // pinned instances against committed JSON. Any drift (a reordered

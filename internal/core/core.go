@@ -25,6 +25,7 @@ import (
 
 	"coflow/internal/bvn"
 	"coflow/internal/coflowmodel"
+	"coflow/internal/lp"
 	"coflow/internal/lpmodel"
 	"coflow/internal/switchsim"
 )
@@ -66,6 +67,12 @@ type Options struct {
 	// from roughly an order of magnitude fewer distinct matchings,
 	// which matters when each matching is a fabric reconfiguration.
 	ThickMatchings bool
+	// SparseLP solves the H_LP ordering LP with the sparse pipeline
+	// (presolve + revised simplex) instead of the dense tableau,
+	// regardless of the lpmodel package default. The two solvers agree
+	// on status and objective (differential-tested); this is a
+	// performance switch that unlocks trace-scale LP ordering.
+	SparseLP bool
 }
 
 // Label renders the option set in the paper's naming: ordering plus
@@ -108,7 +115,11 @@ func Schedule(ins *coflowmodel.Instance, opts Options) (*Result, error) {
 	case OrderLoadWeight:
 		order = LoadWeightOrder(ins)
 	case OrderLP:
-		sol, err := lpmodel.SolveIntervalLP(ins)
+		method := lpmodel.DefaultMethod()
+		if opts.SparseLP {
+			method = lp.MethodSparse
+		}
+		sol, err := lpmodel.SolveIntervalLPWith(ins, method)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,60 @@
+package lp
+
+// JSON (de)serialization of Problem, for the differential harness's
+// divergence reproducers (the same role check.Shadow's JSON dumps play
+// for the Step pipeline): a failing LP instance is written to disk as
+// a standalone JSON file a test or debugging session can reload.
+
+import "encoding/json"
+
+type problemJSON struct {
+	NumVars int              `json:"num_vars"`
+	Obj     []float64        `json:"obj"`
+	Rows    []constraintJSON `json:"rows"`
+}
+
+type constraintJSON struct {
+	Entries []Entry `json:"entries"`
+	Sense   Sense   `json:"sense"`
+	RHS     float64 `json:"rhs"`
+}
+
+// MarshalJSON encodes the full problem (objective and rows).
+func (p *Problem) MarshalJSON() ([]byte, error) {
+	pj := problemJSON{NumVars: p.numVars, Obj: p.obj, Rows: make([]constraintJSON, len(p.rows))}
+	for i, r := range p.rows {
+		entries := r.entries
+		if entries == nil {
+			entries = []Entry{}
+		}
+		pj.Rows[i] = constraintJSON{Entries: entries, Sense: r.sense, RHS: r.rhs}
+	}
+	return json.Marshal(pj)
+}
+
+// UnmarshalJSON decodes a problem previously written by MarshalJSON.
+func (p *Problem) UnmarshalJSON(data []byte) error {
+	var pj problemJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return err
+	}
+	if pj.NumVars <= 0 {
+		return ErrBadProblem
+	}
+	np := NewProblem(pj.NumVars)
+	for v, c := range pj.Obj {
+		if v < pj.NumVars {
+			np.SetObjective(v, c)
+		}
+	}
+	for _, r := range pj.Rows {
+		for _, e := range r.Entries {
+			if e.Var < 0 || e.Var >= pj.NumVars {
+				return ErrBadProblem
+			}
+		}
+		np.AddConstraint(r.Entries, r.Sense, r.RHS)
+	}
+	*p = *np
+	return nil
+}

@@ -1,0 +1,313 @@
+package lp
+
+// Sparse LU factorization of the simplex basis, plus product-form
+// (eta) updates. This is the linear-algebra core of the revised
+// simplex in sparse.go: the basis matrix B (m×m, columns of the
+// standard-form constraint matrix) is factored as P·B = L·U by
+// left-looking Gaussian elimination with partial pivoting, and basis
+// changes between refactorizations are absorbed as eta matrices
+// (B_new = B_old·E with E = I + (w − e_r)·e_rᵀ, w = B_old⁻¹·a_enter).
+//
+// Coordinate conventions, used consistently by ftran/btran:
+//
+//   - "row coordinates": indices into the original constraint rows
+//     (the space right-hand sides and dual values live in);
+//   - "position coordinates": indices into the basis column order
+//     (the space basic-variable values live in). Factorization step k
+//     eliminates basis column k, so elimination steps and basis
+//     positions coincide.
+//
+// rowOf[k] is the original row chosen as the pivot of step k;
+// pos[rowOf[k]] = k inverts it.
+
+import (
+	"errors"
+	"math"
+)
+
+// spCol is one sparse column: parallel index/value slices.
+type spCol struct {
+	ind []int
+	val []float64
+}
+
+// errSingular reports a numerically singular basis; the caller
+// refactorizes or falls back to the dense solver.
+var errSingular = errors.New("lp: singular basis")
+
+const (
+	// luPivotTol is the minimum acceptable pivot magnitude during
+	// factorization; below it the basis is treated as singular.
+	luPivotTol = 1e-11
+	// etaDropTol drops negligible eta entries to keep updates sparse.
+	etaDropTol = 1e-13
+	// refactorEvery bounds the eta file length; past it the basis is
+	// refactored from scratch, which also resets accumulated roundoff.
+	refactorEvery = 64
+)
+
+// luFactors is one P·B = L·U factorization.
+type luFactors struct {
+	m     int
+	rowOf []int // rowOf[k]: original row pivoted at step k
+	pos   []int // pos[origRow]: step that pivoted it, -1 while free
+
+	// L is unit lower triangular in step coordinates, stored by column:
+	// column k holds multipliers indexed by ORIGINAL row (rows pivoted
+	// at later steps).
+	lRows [][]int
+	lVals [][]float64
+
+	// U is upper triangular in step coordinates, stored by column:
+	// column k holds entries u_ik for steps i < k, plus diag[k] = u_kk.
+	uRows [][]int
+	uVals [][]float64
+	diag  []float64
+
+	work    []float64 // dense scratch in row coordinates, len m
+	inTouch []bool    // membership marker for the factor scratch list
+}
+
+// newLU allocates factor storage for an m×m basis.
+func newLU(m int) *luFactors {
+	return &luFactors{
+		m:       m,
+		rowOf:   make([]int, m),
+		pos:     make([]int, m),
+		lRows:   make([][]int, m),
+		lVals:   make([][]float64, m),
+		uRows:   make([][]int, m),
+		uVals:   make([][]float64, m),
+		diag:    make([]float64, m),
+		work:    make([]float64, m),
+		inTouch: make([]bool, m),
+	}
+}
+
+// factor computes P·B = L·U for the basis whose k-th column is
+// cols(k). Returns errSingular when no acceptable pivot exists.
+func (f *luFactors) factor(cols func(k int) spCol) error {
+	m := f.m
+	for r := 0; r < m; r++ {
+		f.pos[r] = -1
+		f.work[r] = 0
+		f.inTouch[r] = false
+	}
+	for k := 0; k < m; k++ {
+		f.lRows[k] = f.lRows[k][:0]
+		f.lVals[k] = f.lVals[k][:0]
+		f.uRows[k] = f.uRows[k][:0]
+		f.uVals[k] = f.uVals[k][:0]
+	}
+	// touched tracks scratch entries to re-zero between columns; the
+	// inTouch marker keeps it duplicate-free even when a value cancels
+	// to exactly zero and is touched again.
+	touched := make([]int, 0, 64)
+	for k := 0; k < m; k++ {
+		c := cols(k)
+		for i, r := range c.ind {
+			if !f.inTouch[r] {
+				f.inTouch[r] = true
+				touched = append(touched, r)
+			}
+			f.work[r] += c.val[i]
+		}
+		// Left-looking elimination: apply every earlier column's
+		// multipliers; the consumed value at each earlier pivot row is a
+		// U entry of this column.
+		for j := 0; j < k; j++ {
+			t := f.work[f.rowOf[j]]
+			if t == 0 {
+				continue
+			}
+			f.uRows[k] = append(f.uRows[k], j)
+			f.uVals[k] = append(f.uVals[k], t)
+			rows, vals := f.lRows[j], f.lVals[j]
+			for i, r := range rows {
+				if !f.inTouch[r] {
+					f.inTouch[r] = true
+					touched = append(touched, r)
+				}
+				f.work[r] -= vals[i] * t
+			}
+		}
+		// Partial pivoting over the still-free rows.
+		pivRow, pivMag := -1, luPivotTol
+		for _, r := range touched {
+			if f.pos[r] >= 0 {
+				continue
+			}
+			if mag := math.Abs(f.work[r]); mag > pivMag {
+				pivRow, pivMag = r, mag
+			}
+		}
+		if pivRow < 0 {
+			for _, r := range touched {
+				f.work[r] = 0
+				f.inTouch[r] = false
+			}
+			return errSingular
+		}
+		piv := f.work[pivRow]
+		f.rowOf[k] = pivRow
+		f.pos[pivRow] = k
+		f.diag[k] = piv
+		inv := 1 / piv
+		for _, r := range touched {
+			if f.pos[r] >= 0 || f.work[r] == 0 {
+				continue
+			}
+			f.lRows[k] = append(f.lRows[k], r)
+			f.lVals[k] = append(f.lVals[k], f.work[r]*inv)
+		}
+		for _, r := range touched {
+			f.work[r] = 0
+			f.inTouch[r] = false
+		}
+		touched = touched[:0]
+	}
+	return nil
+}
+
+// ftranLU solves B·z = b. b is dense in row coordinates and is
+// consumed as scratch; z is dense in position coordinates.
+func (f *luFactors) ftranLU(b, z []float64) {
+	// L solve: y_k accumulates in place at b[rowOf[k]].
+	for k := 0; k < f.m; k++ {
+		t := b[f.rowOf[k]]
+		if t == 0 {
+			continue
+		}
+		rows, vals := f.lRows[k], f.lVals[k]
+		for i, r := range rows {
+			b[r] -= vals[i] * t
+		}
+	}
+	// U solve, backward, column-oriented: once z_k is known, its
+	// contribution u_ik·z_k is pulled out of every earlier y_i.
+	for k := f.m - 1; k >= 0; k-- {
+		t := b[f.rowOf[k]] / f.diag[k]
+		z[k] = t
+		if t == 0 {
+			continue
+		}
+		rows, vals := f.uRows[k], f.uVals[k]
+		for i, j := range rows {
+			b[f.rowOf[j]] -= vals[i] * t
+		}
+	}
+}
+
+// btranLU solves Bᵀ·y = c. c is dense in position coordinates and is
+// consumed as scratch; y is dense in row coordinates.
+func (f *luFactors) btranLU(c, y []float64) {
+	// Uᵀ·w = c, forward: Uᵀ is lower triangular in step coordinates.
+	// w is computed in place in c.
+	for k := 0; k < f.m; k++ {
+		t := c[k]
+		rows, vals := f.uRows[k], f.uVals[k]
+		for i, j := range rows {
+			t -= vals[i] * c[j]
+		}
+		c[k] = t / f.diag[k]
+	}
+	// Lᵀ·v = w, backward: column k of L touches only rows pivoted at
+	// later steps, whose v entries are already final, so the solve runs
+	// in place in c as well.
+	for k := f.m - 1; k >= 0; k-- {
+		t := c[k]
+		rows, vals := f.lRows[k], f.lVals[k]
+		for i, r := range rows {
+			t -= vals[i] * c[f.pos[r]]
+		}
+		c[k] = t
+	}
+	// Undo the row permutation: y = Pᵀ·v.
+	for k := 0; k < f.m; k++ {
+		y[f.rowOf[k]] = c[k]
+	}
+}
+
+// eta is one product-form update: the basis column at position r was
+// replaced, with w = B_old⁻¹·a_enter. Entries exclude position r
+// (stored as wr).
+type eta struct {
+	r   int
+	wr  float64
+	ind []int
+	val []float64
+}
+
+// basisLU maintains B⁻¹ across pivots: an LU factorization plus an
+// eta file, refactored when the file reaches refactorEvery.
+type basisLU struct {
+	m    int
+	lu   *luFactors
+	etas []eta
+}
+
+func newBasisLU(m int) *basisLU {
+	return &basisLU{m: m, lu: newLU(m)}
+}
+
+// refactor rebuilds the LU factors from the current basis columns and
+// clears the eta file.
+func (b *basisLU) refactor(cols func(k int) spCol) error {
+	if err := b.lu.factor(cols); err != nil {
+		return err
+	}
+	b.etas = b.etas[:0]
+	return nil
+}
+
+// needsRefactor reports whether the eta file is full.
+func (b *basisLU) needsRefactor() bool { return len(b.etas) >= refactorEvery }
+
+// push records the pivot (position r, FTRAN column w) as an eta.
+// Returns errSingular when the pivot element is numerically zero.
+func (b *basisLU) push(r int, w []float64) error {
+	if math.Abs(w[r]) <= luPivotTol {
+		return errSingular
+	}
+	e := eta{r: r, wr: w[r]}
+	for i, v := range w {
+		if i != r && math.Abs(v) > etaDropTol {
+			e.ind = append(e.ind, i)
+			e.val = append(e.val, v)
+		}
+	}
+	b.etas = append(b.etas, e)
+	return nil
+}
+
+// ftran solves B·z = b with the current factors (LU then etas in
+// creation order). b is dense in row coordinates and is consumed;
+// z is dense in position coordinates.
+func (b *basisLU) ftran(rhs, z []float64) {
+	b.lu.ftranLU(rhs, z)
+	for i := range b.etas {
+		e := &b.etas[i]
+		t := z[e.r] / e.wr
+		if t != 0 {
+			for j, p := range e.ind {
+				z[p] -= e.val[j] * t
+			}
+		}
+		z[e.r] = t
+	}
+}
+
+// btran solves Bᵀ·y = c with the current factors (etas in reverse
+// order, then LUᵀ). c is dense in position coordinates and is
+// consumed; y is dense in row coordinates.
+func (b *basisLU) btran(c, y []float64) {
+	for i := len(b.etas) - 1; i >= 0; i-- {
+		e := &b.etas[i]
+		dot := 0.0
+		for j, p := range e.ind {
+			dot += e.val[j] * c[p]
+		}
+		c[e.r] = (c[e.r] - dot) / e.wr
+	}
+	b.lu.btranLU(c, y)
+}

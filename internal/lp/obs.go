@@ -2,7 +2,7 @@ package lp
 
 import "coflow/internal/obs"
 
-// Obs instruments the simplex solver. Every field is a nil-safe obs
+// Obs instruments the simplex solvers. Every field is a nil-safe obs
 // metric; the zero value (the default) disables them at the cost of
 // one nil check per site. Hooks are package-level because Solve is a
 // pure function called from many places (lpmodel, openshop,
@@ -10,21 +10,45 @@ import "coflow/internal/obs"
 //
 // Stage taxonomy:
 //
-//	solve          one whole Solve call
+//	solve          one whole Solve/SolveSparse call
 //	setup          tableau construction, including row equilibration
 //	equilibration  the row-scaling pass alone (subset of setup)
 //	phase1         feasibility phase (minimize artificial sum)
 //	phase2         optimality phase (minimize the real objective)
+//	presolve       the reduction loop ahead of the revised simplex
+//	factorize      one sparse LU (re)factorization of the basis
+//	price          one pricing pass (BTRAN + reduced costs)
+//	update         one basis change (xB update + eta push)
 type Obs struct {
 	SolveSeconds         *obs.Histogram
 	SetupSeconds         *obs.Histogram
 	EquilibrationSeconds *obs.Histogram
 	Phase1Seconds        *obs.Histogram
 	Phase2Seconds        *obs.Histogram
+	PresolveSeconds      *obs.Histogram
+	FactorizeSeconds     *obs.Histogram
+	PriceSeconds         *obs.Histogram
+	UpdateSeconds        *obs.Histogram
 
 	Solves *obs.Counter
-	// Pivots counts simplex iterations (phase 1 + phase 2).
+	// Pivots counts simplex iterations (phase 1 + phase 2, both
+	// solvers).
 	Pivots *obs.Counter
+	// SparseSolves counts SolveSparse calls (a subset of Solves).
+	SparseSolves *obs.Counter
+	// SparseFallbacks counts sparse solves that hit numerical
+	// breakdown and transparently re-ran on the dense oracle.
+	SparseFallbacks *obs.Counter
+
+	// Per-reduction presolve counts, accumulated across solves.
+	PresolveEmptyRows      *obs.Counter
+	PresolveSingletonRows  *obs.Counter
+	PresolveRedundantRows  *obs.Counter
+	PresolveForcingRows    *obs.Counter
+	PresolveFixedVars      *obs.Counter
+	PresolveEmptyCols      *obs.Counter
+	PresolveFreeSingletons *obs.Counter
+	PresolveTightenedBnds  *obs.Counter
 }
 
 // pkgObs is the installed hooks; the zero value disables them.
@@ -44,7 +68,23 @@ func NewObs(r *obs.Registry) Obs {
 		EquilibrationSeconds: r.Histogram("coflow_lp_equilibration_seconds", "latency of the row-equilibration pass", obs.LatencyBuckets),
 		Phase1Seconds:        r.Histogram("coflow_lp_phase1_seconds", "latency of the feasibility phase", obs.LatencyBuckets),
 		Phase2Seconds:        r.Histogram("coflow_lp_phase2_seconds", "latency of the optimality phase", obs.LatencyBuckets),
-		Solves:               r.Counter("coflow_lp_solves_total", "simplex solves run"),
-		Pivots:               r.Counter("coflow_lp_pivots_total", "simplex pivots across all solves"),
+		PresolveSeconds:      r.Histogram("coflow_lp_presolve_seconds", "latency of the presolve reduction loop", obs.LatencyBuckets),
+		FactorizeSeconds:     r.Histogram("coflow_lp_factorize_seconds", "latency of one sparse basis LU factorization", obs.LatencyBuckets),
+		PriceSeconds:         r.Histogram("coflow_lp_price_seconds", "latency of one revised-simplex pricing pass", obs.LatencyBuckets),
+		UpdateSeconds:        r.Histogram("coflow_lp_update_seconds", "latency of one revised-simplex basis update", obs.LatencyBuckets),
+
+		Solves:          r.Counter("coflow_lp_solves_total", "simplex solves run"),
+		Pivots:          r.Counter("coflow_lp_pivots_total", "simplex pivots across all solves"),
+		SparseSolves:    r.Counter("coflow_lp_sparse_solves_total", "sparse (presolve + revised simplex) solves run"),
+		SparseFallbacks: r.Counter("coflow_lp_sparse_fallbacks_total", "sparse solves that fell back to the dense oracle"),
+
+		PresolveEmptyRows:      r.Counter("coflow_lp_presolve_empty_rows_total", "empty rows dropped by presolve"),
+		PresolveSingletonRows:  r.Counter("coflow_lp_presolve_singleton_rows_total", "singleton rows converted to bounds by presolve"),
+		PresolveRedundantRows:  r.Counter("coflow_lp_presolve_redundant_rows_total", "redundant rows dropped by presolve"),
+		PresolveForcingRows:    r.Counter("coflow_lp_presolve_forcing_rows_total", "forcing rows fixed by presolve"),
+		PresolveFixedVars:      r.Counter("coflow_lp_presolve_fixed_vars_total", "variables fixed and substituted by presolve"),
+		PresolveEmptyCols:      r.Counter("coflow_lp_presolve_empty_cols_total", "empty columns fixed by presolve"),
+		PresolveFreeSingletons: r.Counter("coflow_lp_presolve_free_singletons_total", "free singleton columns solved out by presolve"),
+		PresolveTightenedBnds:  r.Counter("coflow_lp_presolve_tightened_bounds_total", "implied bounds tightened by presolve"),
 	}
 }

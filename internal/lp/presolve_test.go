@@ -1,0 +1,395 @@
+package lp
+
+// Presolve reduction tests. The load-bearing property: for EVERY
+// reduction, postsolve lifts a solution of the reduced problem to one
+// that passes CheckFeasible on the ORIGINAL problem with the same
+// objective. Each table case additionally pins which reduction fired
+// via the stats counters.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// presolveAndSolve runs the full sparse pipeline by hand — presolve,
+// dense-solve the reduced problem, postsolve — so tests can inspect
+// each stage.
+func presolveAndSolve(t *testing.T, p *Problem) (*Presolved, Status, []float64) {
+	t.Helper()
+	ps, err := Presolve(p)
+	if err != nil {
+		t.Fatalf("presolve: %v", err)
+	}
+	if ps.Decided() {
+		if ps.Status() != Optimal {
+			return ps, ps.Status(), nil
+		}
+		x, err := ps.Postsolve(nil)
+		if err != nil {
+			t.Fatalf("postsolve (decided): %v", err)
+		}
+		return ps, Optimal, x
+	}
+	sol, err := Solve(ps.Reduced())
+	if err != nil {
+		t.Fatalf("solve reduced: %v", err)
+	}
+	if sol.Status != Optimal {
+		return ps, sol.Status, nil
+	}
+	x, err := ps.Postsolve(sol.X)
+	if err != nil {
+		t.Fatalf("postsolve: %v", err)
+	}
+	return ps, Optimal, x
+}
+
+// checkAgainstOriginal asserts the postsolved x is feasible on the
+// original problem and matches the dense oracle's optimal objective.
+func checkAgainstOriginal(t *testing.T, p *Problem, x []float64) {
+	t.Helper()
+	if err := CheckFeasible(p, x, 1e-6); err != nil {
+		t.Fatalf("postsolved solution infeasible on original: %v", err)
+	}
+	oracle, err := Solve(p)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	if oracle.Status != Optimal {
+		t.Fatalf("oracle status = %v, want optimal", oracle.Status)
+	}
+	got := Objective(p, x)
+	if diff := math.Abs(got - oracle.Objective); diff > 1e-6*(1+math.Abs(oracle.Objective)) {
+		t.Fatalf("objective after postsolve = %.12g, oracle = %.12g", got, oracle.Objective)
+	}
+}
+
+func TestPresolveReductions(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Problem
+		// wantStatus is the expected final verdict of the pipeline.
+		wantStatus Status
+		// fired asserts on the stats of the presolve run.
+		fired func(t *testing.T, s PresolveStats)
+	}{
+		{
+			name: "empty row redundant",
+			build: func() *Problem {
+				p := NewProblem(1)
+				p.SetObjective(0, 1)
+				p.AddConstraint(nil, LE, 5)
+				p.AddConstraint([]Entry{{0, 1}}, GE, 2)
+				return p
+			},
+			wantStatus: Optimal,
+			fired: func(t *testing.T, s PresolveStats) {
+				if s.EmptyRows == 0 {
+					t.Errorf("EmptyRows = 0, want > 0 (stats %+v)", s)
+				}
+			},
+		},
+		{
+			name: "empty row infeasible",
+			build: func() *Problem {
+				p := NewProblem(1)
+				p.AddConstraint(nil, GE, 3)
+				return p
+			},
+			wantStatus: Infeasible,
+		},
+		{
+			name: "empty row infeasible via negative LE",
+			build: func() *Problem {
+				p := NewProblem(1)
+				p.AddConstraint(nil, LE, -2)
+				return p
+			},
+			wantStatus: Infeasible,
+		},
+		{
+			name: "singleton row becomes bound",
+			build: func() *Problem {
+				// min -x0 s.t. 2·x0 ≤ 6 → x0 = 3.
+				p := NewProblem(2)
+				p.SetObjective(0, -1)
+				p.SetObjective(1, 1)
+				p.AddConstraint([]Entry{{0, 2}}, LE, 6)
+				p.AddConstraint([]Entry{{0, 1}, {1, 1}}, GE, 1)
+				return p
+			},
+			wantStatus: Optimal,
+			fired: func(t *testing.T, s PresolveStats) {
+				if s.SingletonRows == 0 {
+					t.Errorf("SingletonRows = 0, want > 0 (stats %+v)", s)
+				}
+			},
+		},
+		{
+			name: "singleton equality fixes variable",
+			build: func() *Problem {
+				// 3·x0 = 6 fixes x0 = 2; the remaining row loses it.
+				p := NewProblem(2)
+				p.SetObjective(1, 1)
+				p.AddConstraint([]Entry{{0, 3}}, EQ, 6)
+				p.AddConstraint([]Entry{{0, 1}, {1, 1}}, GE, 5)
+				return p
+			},
+			wantStatus: Optimal,
+			fired: func(t *testing.T, s PresolveStats) {
+				if s.FixedVars == 0 {
+					t.Errorf("FixedVars = 0, want > 0 (stats %+v)", s)
+				}
+			},
+		},
+		{
+			name: "contradictory singleton bounds infeasible",
+			build: func() *Problem {
+				p := NewProblem(1)
+				p.AddConstraint([]Entry{{0, 1}}, GE, 4)
+				p.AddConstraint([]Entry{{0, 1}}, LE, 1)
+				return p
+			},
+			wantStatus: Infeasible,
+		},
+		{
+			name: "free singleton column slack-out",
+			build: func() *Problem {
+				// x0 has zero cost and appears only in the GE row with a
+				// positive coefficient: it can absorb any residual, so row
+				// and column both go.
+				p := NewProblem(3)
+				p.SetObjective(1, 2)
+				p.SetObjective(2, 1)
+				p.AddConstraint([]Entry{{0, 1}, {1, 1}}, GE, 2)
+				p.AddConstraint([]Entry{{1, 1}, {2, 1}}, GE, 3)
+				return p
+			},
+			wantStatus: Optimal,
+			fired: func(t *testing.T, s PresolveStats) {
+				if s.FreeSingletons == 0 {
+					t.Errorf("FreeSingletons = 0, want > 0 (stats %+v)", s)
+				}
+			},
+		},
+		{
+			name: "free singleton column equality substitution",
+			build: func() *Problem {
+				// x0 appears only in x0 + x1 + x2 = 10 with x1 ≤ 2 and
+				// x2 ≤ 3 enforced, so x0 ∈ [5, 10] stays in range and is
+				// solved out, carrying its cost into x1, x2.
+				p := NewProblem(3)
+				p.SetObjective(0, 1)
+				p.SetObjective(1, -1)
+				p.SetObjective(2, 2)
+				p.AddConstraint([]Entry{{0, 1}, {1, 1}, {2, 1}}, EQ, 10)
+				p.AddConstraint([]Entry{{1, 1}}, LE, 2)
+				p.AddConstraint([]Entry{{2, 1}}, LE, 3)
+				return p
+			},
+			wantStatus: Optimal,
+			fired: func(t *testing.T, s PresolveStats) {
+				if s.FreeSingletons == 0 {
+					t.Errorf("FreeSingletons = 0, want > 0 (stats %+v)", s)
+				}
+			},
+		},
+		{
+			name: "forcing row fixes members",
+			build: func() *Problem {
+				// x0 + x1 ≤ 0 with x ≥ 0 forces x0 = x1 = 0.
+				p := NewProblem(3)
+				p.SetObjective(0, -5)
+				p.SetObjective(1, -5)
+				p.SetObjective(2, 1)
+				p.AddConstraint([]Entry{{0, 1}, {1, 1}}, LE, 0)
+				p.AddConstraint([]Entry{{0, 1}, {2, 1}}, GE, 2)
+				return p
+			},
+			wantStatus: Optimal,
+			fired: func(t *testing.T, s PresolveStats) {
+				if s.ForcingRows == 0 {
+					t.Errorf("ForcingRows = 0, want > 0 (stats %+v)", s)
+				}
+			},
+		},
+		{
+			name: "bound tightening detects infeasibility",
+			build: func() *Problem {
+				// x0 + x1 ≤ 1 caps both at 1; x0 + 2·x1 ≥ 4 then cannot
+				// be met (max activity 3).
+				p := NewProblem(2)
+				p.AddConstraint([]Entry{{0, 1}, {1, 1}}, LE, 1)
+				p.AddConstraint([]Entry{{0, 1}, {1, 2}}, GE, 4)
+				return p
+			},
+			wantStatus: Infeasible,
+		},
+		{
+			name: "redundant row dropped under enforced bounds",
+			build: func() *Problem {
+				// x0 ≤ 2 and x1 ≤ 3 are enforced singleton bounds, so
+				// x0 + x1 ≤ 100 can never bind and is dropped.
+				p := NewProblem(2)
+				p.SetObjective(0, -1)
+				p.SetObjective(1, -1)
+				p.AddConstraint([]Entry{{0, 1}}, LE, 2)
+				p.AddConstraint([]Entry{{1, 1}}, LE, 3)
+				p.AddConstraint([]Entry{{0, 1}, {1, 1}}, LE, 100)
+				return p
+			},
+			wantStatus: Optimal,
+			fired: func(t *testing.T, s PresolveStats) {
+				if s.RedundantRows == 0 {
+					t.Errorf("RedundantRows = 0, want > 0 (stats %+v)", s)
+				}
+			},
+		},
+		{
+			name: "all presolved away",
+			build: func() *Problem {
+				// Both variables fixed by equalities; nothing remains.
+				p := NewProblem(2)
+				p.SetObjective(0, 3)
+				p.SetObjective(1, -2)
+				p.AddConstraint([]Entry{{0, 1}}, EQ, 4)
+				p.AddConstraint([]Entry{{1, 2}}, EQ, 6)
+				return p
+			},
+			wantStatus: Optimal,
+			fired: func(t *testing.T, s PresolveStats) {
+				if s.FixedVars < 2 {
+					t.Errorf("FixedVars = %d, want 2 (stats %+v)", s.FixedVars, s)
+				}
+			},
+		},
+		{
+			name: "no rows at all",
+			build: func() *Problem {
+				// Empty columns: non-negative costs pin x = 0 outright.
+				p := NewProblem(3)
+				p.SetObjective(0, 1)
+				p.SetObjective(2, 2)
+				return p
+			},
+			wantStatus: Optimal,
+			fired: func(t *testing.T, s PresolveStats) {
+				if s.EmptyCols == 0 {
+					t.Errorf("EmptyCols = 0, want > 0 (stats %+v)", s)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.build()
+			ps, status, x := presolveAndSolve(t, p)
+			if status != tc.wantStatus {
+				t.Fatalf("status = %v, want %v (stats %+v)", status, tc.wantStatus, ps.Stats())
+			}
+			if tc.fired != nil {
+				tc.fired(t, ps.Stats())
+			}
+			if status == Optimal {
+				checkAgainstOriginal(t, p, x)
+			} else {
+				// The oracle must agree the problem has no optimum.
+				oracle, err := Solve(p)
+				if err != nil {
+					t.Fatalf("oracle: %v", err)
+				}
+				if oracle.Status != status {
+					t.Fatalf("oracle status = %v, presolve pipeline = %v", oracle.Status, status)
+				}
+			}
+		})
+	}
+}
+
+// TestPresolveEmptyColumnUnboundedStaysOpen pins the status contract:
+// presolve must never decide Unbounded (that requires proof of
+// feasibility), so a negative-cost empty column survives into the
+// reduced problem and the simplex delivers the verdict.
+func TestPresolveEmptyColumnUnboundedStaysOpen(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, -1) // empty column, no upper bound: unbounded ray
+	p.SetObjective(1, 1)
+	p.AddConstraint([]Entry{{1, 1}}, GE, 1)
+	ps, err := Presolve(p)
+	if err != nil {
+		t.Fatalf("presolve: %v", err)
+	}
+	if ps.Decided() {
+		t.Fatalf("presolve decided %v; the unbounded verdict belongs to the simplex", ps.Status())
+	}
+	sol, err := SolveSparse(p)
+	if err != nil {
+		t.Fatalf("solve sparse: %v", err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+	// And when the same column's constraint set is infeasible, the
+	// verdict must be Infeasible, not Unbounded.
+	q := NewProblem(2)
+	q.SetObjective(0, -1)
+	q.AddConstraint([]Entry{{1, 1}}, GE, 1)
+	q.AddConstraint([]Entry{{1, 1}}, LE, 0)
+	sol, err = SolveSparse(q)
+	if err != nil {
+		t.Fatalf("solve sparse: %v", err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible (infeasibility outranks the open ray)", sol.Status)
+	}
+}
+
+// TestPresolvePostsolveProperty is the randomized form of the
+// per-reduction contract: on seeded random problems, whatever chain of
+// reductions fires, the postsolved solution is feasible on the
+// original problem with the oracle's objective.
+func TestPresolvePostsolveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for n := 0; n < 300; n++ {
+		p := randomProblem(rng)
+		oracle, err := Solve(p)
+		if err != nil {
+			t.Fatalf("instance %d: oracle: %v", n, err)
+		}
+		ps, status, x := presolveAndSolve(t, p)
+		if oracle.Status == IterLimit || status == IterLimit {
+			continue
+		}
+		if status != oracle.Status {
+			t.Fatalf("instance %d: pipeline status %v, oracle %v (stats %+v)",
+				n, status, oracle.Status, ps.Stats())
+		}
+		if status != Optimal {
+			continue
+		}
+		if err := CheckFeasible(p, x, 1e-5); err != nil {
+			t.Fatalf("instance %d: postsolved solution infeasible: %v", n, err)
+		}
+		got := Objective(p, x)
+		if diff := math.Abs(got - oracle.Objective); diff > 1e-6*(1+math.Abs(oracle.Objective)) {
+			t.Fatalf("instance %d: objective %.12g, oracle %.12g", n, got, oracle.Objective)
+		}
+	}
+}
+
+// TestPresolveStatsTotal keeps the aggregate helper honest.
+func TestPresolveStatsTotal(t *testing.T) {
+	s := PresolveStats{EmptyRows: 1, SingletonRows: 2, RedundantRows: 3, ForcingRows: 4,
+		FixedVars: 5, EmptyCols: 6, FreeSingletons: 7, TightenedBnds: 100, Passes: 9}
+	if got := s.Total(); got != 28 {
+		t.Fatalf("Total = %d, want 28 (structural reductions only)", got)
+	}
+}
+
+// TestPresolveRejectsBadInput mirrors Solve's ErrBadProblem contract.
+func TestPresolveRejectsBadInput(t *testing.T) {
+	if _, err := Presolve(nil); err == nil {
+		t.Fatal("Presolve(nil) succeeded")
+	}
+}

@@ -22,6 +22,21 @@ import (
 	"coflow/internal/lp"
 )
 
+// defaultMethod selects the simplex implementation used by
+// SolveIntervalLP and SolveTimeIndexedLP. The dense tableau is the
+// historical default; coflowsim/experiments switch it to the sparse
+// revised simplex with -lpmethod sparse.
+var defaultMethod = lp.MethodDense
+
+// SetDefaultMethod installs the package-wide LP method. Call once at
+// startup (it is not synchronized against concurrent solves), the
+// same convention as lp.SetObs. The explicit ...With variants take
+// precedence for individual calls.
+func SetDefaultMethod(m lp.Method) { defaultMethod = m }
+
+// DefaultMethod returns the installed package-wide LP method.
+func DefaultMethod() lp.Method { return defaultMethod }
+
 // Intervals returns the paper's geometric time points for horizon T:
 // τ_0 = 0 and τ_l = 2^(l−1) for l = 1..L, where L is the smallest
 // integer with 2^(L−1) ≥ T. The l-th interval is (τ_{l−1}, τ_l].
@@ -205,8 +220,15 @@ func WriteIntervalLPMPS(w io.Writer, ins *coflowmodel.Instance, name string) err
 }
 
 // SolveIntervalLP builds and solves the interval-indexed relaxation
-// (LP) for ins. The instance must be valid and non-empty.
+// (LP) for ins with the package default method. The instance must be
+// valid and non-empty.
 func SolveIntervalLP(ins *coflowmodel.Instance) (*IntervalSolution, error) {
+	return SolveIntervalLPWith(ins, defaultMethod)
+}
+
+// SolveIntervalLPWith is SolveIntervalLP with an explicit solver
+// method, overriding the package default.
+func SolveIntervalLPWith(ins *coflowmodel.Instance, method lp.Method) (*IntervalSolution, error) {
 	model, err := buildIntervalLP(ins)
 	if err != nil {
 		return nil, err
@@ -216,7 +238,7 @@ func SolveIntervalLP(ins *coflowmodel.Instance) (*IntervalSolution, error) {
 	L := len(tau) - 1
 	numVars := prob.NumVars()
 
-	sol, err := lp.Solve(prob)
+	sol, err := lp.SolveWith(prob, method)
 	if err != nil {
 		return nil, err
 	}
@@ -370,9 +392,16 @@ const (
 )
 
 // SolveTimeIndexedLP builds and solves the time-indexed relaxation
-// (LP-EXP). It returns an error if the instance's horizon makes the
-// program larger than MaxTimeIndexedVars variables.
+// (LP-EXP) with the package default method. It returns an error if
+// the instance's horizon makes the program larger than
+// MaxTimeIndexedVars variables.
 func SolveTimeIndexedLP(ins *coflowmodel.Instance) (*TimeIndexedSolution, error) {
+	return SolveTimeIndexedLPWith(ins, defaultMethod)
+}
+
+// SolveTimeIndexedLPWith is SolveTimeIndexedLP with an explicit
+// solver method, overriding the package default.
+func SolveTimeIndexedLPWith(ins *coflowmodel.Instance, method lp.Method) (*TimeIndexedSolution, error) {
 	if err := ins.Validate(); err != nil {
 		return nil, err
 	}
@@ -468,7 +497,7 @@ func SolveTimeIndexedLP(ins *coflowmodel.Instance) (*TimeIndexedSolution, error)
 	addLoadRows(rowLoad)
 	addLoadRows(colLoad)
 
-	sol, err := lp.Solve(prob)
+	sol, err := lp.SolveWith(prob, method)
 	if err != nil {
 		return nil, err
 	}
