@@ -1,7 +1,7 @@
 # Standard developer entry points. Everything is stdlib-only Go; no
 # tools beyond the toolchain are required.
 
-.PHONY: build test check lint escapecheck escapebaseline slowcheck loadtest scenarios bench bench-baseline bench-all
+.PHONY: build test check lint lintfix-audit escapecheck escapebaseline slowcheck loadtest scenarios bench bench-baseline bench-all
 
 build:
 	go build ./...
@@ -22,10 +22,19 @@ check: lint escapecheck slowcheck scenarios loadtest bench
 # Project-specific static analysis (internal/lint run by
 # cmd/coflowvet): allocation-freedom of //coflow:allocfree functions,
 # nil-receiver guards and span hygiene in the obs layer, "guarded by"
-# lock discipline, and silently discarded errors. See DESIGN.md
-# "Static analysis".
+# lock discipline, silently discarded errors, pooled-loan escapes and
+# staleness, post-publication mutation, closures escaping
+# single-writer loops, and module-wide lock ordering. See DESIGN.md
+# "Static analysis" and "Static analysis v2".
 lint:
 	go run ./cmd/coflowvet
+
+# Audit trail of every //lint:ignore suppression in the module, one
+# line per directive with its reason. Review this list when a
+# suppression's justification goes stale; reasonless directives are
+# themselves lint errors, so everything printed here carries a reason.
+lintfix-audit:
+	go run ./cmd/coflowvet -ignores
 
 # Escape-analysis gate for //coflow:allocfree functions, compare-only
 # against the committed baseline: a NEW "escapes to heap" inside an

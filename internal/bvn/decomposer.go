@@ -119,12 +119,16 @@ func (dc *Decomposer) Size() int { return dc.m }
 
 // Decompose runs Algorithm 1 cold on d with StrategyFirst. See the
 // type comment for the aliasing contract of the result.
+//
+//coflow:pooled
 func (dc *Decomposer) Decompose(d *matrix.Matrix) (*Decomposition, error) {
 	return dc.DecomposeWith(d, StrategyFirst)
 }
 
 // DecomposeWith runs Algorithm 1 cold on d with the given extraction
 // strategy, reusing all scratch from previous calls.
+//
+//coflow:pooled
 func (dc *Decomposer) DecomposeWith(d *matrix.Matrix, strategy Strategy) (*Decomposition, error) {
 	if d.Rows() != d.Cols() || d.Rows() != dc.m {
 		panic(fmt.Sprintf("bvn: decomposer size %d, matrix %d×%d", dc.m, d.Rows(), d.Cols()))
@@ -137,6 +141,7 @@ func (dc *Decomposer) DecomposeWith(d *matrix.Matrix, strategy Strategy) (*Decom
 // cold runs Algorithm 1 over dc.demand into the recycled result.
 //
 //coflow:allocfree
+//coflow:pooled
 func (dc *Decomposer) cold(strategy Strategy) (*Decomposition, error) {
 	decSpan := dc.obs.DecomposeSeconds.Start()
 	defer decSpan.End()
@@ -399,6 +404,7 @@ func (dc *Decomposer) bottleneck() bool {
 // not exceed the current demand.
 //
 //coflow:allocfree
+//coflow:pooled
 func (dc *Decomposer) Update(served *matrix.Matrix) (*Decomposition, error) {
 	if !dc.primed {
 		//lint:ignore allocfree misuse error path, never taken by the slot pipeline

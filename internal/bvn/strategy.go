@@ -42,5 +42,6 @@ func (s Strategy) String() string {
 func DecomposeWith(d *matrix.Matrix, strategy Strategy) (*Decomposition, error) {
 	dc := NewDecomposer(d.Rows())
 	dc.SetObs(pkgObs)
+	//lint:ignore pooled the Decomposer is throwaway: no later call on it can recycle the result's storage
 	return dc.DecomposeWith(d, strategy)
 }

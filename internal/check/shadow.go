@@ -134,7 +134,10 @@ func (sh *Shadow) Remove(key int) bool {
 
 // Step advances both implementations one slot and diffs the results.
 // The fast path's StepResult is returned either way, so a Shadow is a
-// drop-in replacement for the State in a scheduling loop.
+// drop-in replacement for the State in a scheduling loop. The result
+// aliases the fast State's scratch, like State.Step's.
+//
+//coflow:pooled
 func (sh *Shadow) Step(slot int64, policy online.Policy) (online.StepResult, *Divergence) {
 	res := sh.State.Step(slot, policy)
 	sh.ops = append(sh.ops, Op{Kind: "step", Slot: slot, Policy: int(policy)})

@@ -56,15 +56,17 @@ func runAllocFree(pass *Pass) {
 	}
 }
 
-// checkAllocFree walks one annotated function body.
+// checkAllocFree walks one annotated function body: every node of
+// every reachable basic block (constructs in dead code cannot
+// allocate at runtime; `go vet` flags the dead code itself). Function
+// literals are visited but not entered — the literal is the finding.
 func checkAllocFree(pass *Pass, fd *ast.FuncDecl) {
 	name := fd.Name.Name
 	owned := ownedObjects(pass, fd)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	visit := func(n ast.Node) {
 		switch n := n.(type) {
 		case *ast.FuncLit:
 			pass.Reportf(n.Pos(), "%s is //coflow:allocfree but contains a function literal (closures allocate)", name)
-			return false
 		case *ast.GoStmt:
 			pass.Reportf(n.Pos(), "%s is //coflow:allocfree but starts a goroutine (go statements allocate)", name)
 		case *ast.CompositeLit:
@@ -98,8 +100,16 @@ func checkAllocFree(pass *Pass, fd *ast.FuncDecl) {
 		case *ast.CallExpr:
 			checkAllocFreeCall(pass, fd, n, owned)
 		}
-		return true
-	})
+	}
+	cfg := BuildCFG(fd.Body)
+	for _, b := range cfg.Blocks {
+		if !cfg.Reachable(b) {
+			continue
+		}
+		for _, n := range b.Nodes {
+			inspectShallow(n, visit)
+		}
+	}
 }
 
 // ownedObjects collects the receiver and parameter objects of fd:

@@ -4,7 +4,10 @@
 // concurrency invariants at "make check" time, before any benchmark
 // or fuzzer can observe a regression at runtime.
 //
-// Four project-specific analyzers ship with it (see their files):
+// Eight project-specific analyzers ship with it (see their files).
+// The first four are syntactic; the last four (and the span half of
+// obsguard) are flow-sensitive, built on the intraprocedural CFG +
+// bit-vector dataflow engine in cfg.go / flow.go:
 //
 //	allocfree  functions annotated //coflow:allocfree must not contain
 //	           allocation-causing constructs (the static sibling of
@@ -17,6 +20,21 @@
 //	           //coflow:singlewriter function
 //	errflow    no silently discarded error returns; "_ =" needs an
 //	           adjacent justification comment
+//	pooled     values returned by //coflow:pooled functions alias
+//	           recycled storage: they may not escape (fields, globals,
+//	           channels, closures, returns from unannotated functions)
+//	           and may not be used past the next invalidating call on
+//	           the same receiver, unless laundered through a
+//	           //coflow:clones function
+//	publish    values reaching atomic.Pointer Store/CompareAndSwap (or
+//	           a //coflow:published sink) must be frozen: no writes
+//	           through any alias after publication on any CFG path
+//	spawnguard goroutines and escaping closures created inside a
+//	           //coflow:singlewriter function may not touch
+//	           serialization-domain-guarded fields, and must take the
+//	           lock themselves for mutex-guarded ones
+//	lockorder  the module-wide mutex acquisition graph must be acyclic
+//	           and upgrade-free (no RLock→Lock on any path)
 //
 // Annotation grammar (all annotations are ordinary comments):
 //
@@ -26,13 +44,23 @@
 //	                        cmd/escapecheck)
 //	//coflow:singlewriter   on a function: it runs on the single
 //	                        goroutine that owns the touched state
+//	//coflow:pooled         on a function: its pointer results alias
+//	                        pool storage owned by the receiver, valid
+//	                        only until the next pooled call on the
+//	                        same receiver (checked by pooled)
+//	//coflow:clones         on a function: it deep-copies its pooled
+//	                        arguments, so the result owns its storage
+//	//coflow:published      on a function: pointer arguments passed to
+//	                        it are published to other goroutines and
+//	                        must be frozen (checked by publish)
 //	// guarded by <mu>      on a struct field: accesses require
 //	                        <mu>.Lock()/RLock() in the same function,
 //	                        or a //coflow:singlewriter function; when
 //	                        <mu> is not a sibling sync.Mutex/RWMutex
 //	                        field, it names a serialization domain and
 //	                        only //coflow:singlewriter functions
-//	                        qualify
+//	                        qualify (goroutines spawned inside those
+//	                        functions are checked by spawnguard)
 //
 // Suppression: a diagnostic is silenced by
 //
@@ -56,20 +84,27 @@ import (
 
 // All is the shipped analyzer set, in the order cmd/coflowvet runs
 // them.
-var All = []*Analyzer{AllocFree, ObsGuard, GuardedBy, ErrFlow}
+var All = []*Analyzer{AllocFree, ObsGuard, GuardedBy, ErrFlow, Pooled, Publish, SpawnGuard, LockOrder}
 
 // Diagnostic is one analyzer finding at a resolved source position.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
+	// Severity is "error" (the default: fails the build gate) or
+	// "warning" (reported and counted, same exit code, but flagged
+	// for readers and machine consumers as advisory).
+	Severity string
 	Message  string
 }
 
-// Analyzer is one named check run over every loaded package.
+// Analyzer is one named check. Per-package analyzers set Run;
+// module-wide analyzers (lockorder, which needs the cross-package
+// call graph) set RunModule instead and are invoked once per load.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Pass carries everything one analyzer needs for one package.
@@ -82,11 +117,54 @@ type Pass struct {
 	diags *[]Diagnostic
 }
 
-// Reportf records a diagnostic at pos.
+// Reportf records an error-severity diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
+		Severity: "error",
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Warnf records a warning-severity diagnostic at pos.
+func (p *Pass) Warnf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Severity: "warning",
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ModulePass carries everything a module-wide analyzer needs: every
+// loaded package at once (they share one FileSet and one type-object
+// space, so cross-package call edges resolve).
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	Index    *Index
+
+	diags *[]Diagnostic
+}
+
+// Reportf records an error-severity diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Severity: "error",
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Warnf records a warning-severity diagnostic at pos.
+func (p *ModulePass) Warnf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Severity: "warning",
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -216,6 +294,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer, index *Index) []Diagnostic {
 	var raw []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -224,6 +305,20 @@ func Run(pkgs []*Package, analyzers []*Analyzer, index *Index) []Diagnostic {
 				diags:    &raw,
 			}
 			a.Run(pass)
+		}
+	}
+	if len(pkgs) > 0 {
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			a.RunModule(&ModulePass{
+				Analyzer: a,
+				Fset:     pkgs[0].Fset,
+				Pkgs:     pkgs,
+				Index:    index,
+				diags:    &raw,
+			})
 		}
 	}
 	var out []Diagnostic
@@ -236,6 +331,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer, index *Index) []Diagnostic {
 						out = append(out, Diagnostic{
 							Pos:      ig.pos,
 							Analyzer: "lint",
+							Severity: "error",
 							Message:  "//lint:ignore " + ig.analyzer + " needs a reason",
 						})
 					}
@@ -283,6 +379,37 @@ func suppressed(ignores map[string]map[int][]ignore, d Diagnostic) bool {
 		}
 	}
 	return false
+}
+
+// Suppression is one //lint:ignore directive, surfaced for the
+// `coflowvet -ignores` audit listing so grandfathered suppressions
+// stay visible.
+type Suppression struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// Suppressions returns every //lint:ignore directive in the packages,
+// sorted by position.
+func Suppressions(pkgs []*Package) []Suppression {
+	var out []Suppression
+	for _, pkg := range pkgs {
+		for _, byLine := range collectIgnores(pkg.Fset, pkg) {
+			for _, igs := range byLine {
+				for _, ig := range igs {
+					out = append(out, Suppression{Pos: ig.pos, Analyzer: ig.analyzer, Reason: ig.reason})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Pos.Filename != out[b].Pos.Filename {
+			return out[a].Pos.Filename < out[b].Pos.Filename
+		}
+		return out[a].Pos.Line < out[b].Pos.Line
+	})
+	return out
 }
 
 // inPackage reports whether filename belongs to pkg (used to

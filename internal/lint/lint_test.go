@@ -114,10 +114,14 @@ func runFixture(t *testing.T, a *Analyzer, name string) {
 	}
 }
 
-func TestAllocFreeFixture(t *testing.T) { runFixture(t, AllocFree, "allocfree") }
-func TestObsGuardFixture(t *testing.T)  { runFixture(t, ObsGuard, "obsguard") }
-func TestGuardedByFixture(t *testing.T) { runFixture(t, GuardedBy, "guardedby") }
-func TestErrFlowFixture(t *testing.T)   { runFixture(t, ErrFlow, "errflow") }
+func TestAllocFreeFixture(t *testing.T)  { runFixture(t, AllocFree, "allocfree") }
+func TestObsGuardFixture(t *testing.T)   { runFixture(t, ObsGuard, "obsguard") }
+func TestGuardedByFixture(t *testing.T)  { runFixture(t, GuardedBy, "guardedby") }
+func TestErrFlowFixture(t *testing.T)    { runFixture(t, ErrFlow, "errflow") }
+func TestPooledFixture(t *testing.T)     { runFixture(t, Pooled, "pooled") }
+func TestPublishFixture(t *testing.T)    { runFixture(t, Publish, "publish") }
+func TestSpawnGuardFixture(t *testing.T) { runFixture(t, SpawnGuard, "spawnguard") }
+func TestLockOrderFixture(t *testing.T)  { runFixture(t, LockOrder, "lockorder") }
 
 // TestRepoIsLintClean runs the full analyzer set over the whole
 // module — the same check "make lint" performs — and demands zero

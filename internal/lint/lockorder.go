@@ -1,0 +1,404 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockOrder builds the module-wide mutex acquisition graph and
+// rejects the two shapes that deadlock at runtime but pass every
+// unit test that doesn't hit the exact interleaving:
+//
+//   - lock-order cycles: some path acquires class A while holding B
+//     and another acquires B while holding A (lockdep-style, with a
+//     lock "class" being the declared mutex variable or struct field
+//     — all instances of shard.Cluster.mu are one class);
+//   - lock upgrades: RLock held on a class while a path acquires
+//     Lock on the same class — the reader blocks the writer it is
+//     about to become.
+//
+// Held sets are tracked flow-sensitively per function over the CFG
+// (a deferred Unlock keeps the lock held to function exit, which is
+// what it does), and acquisition sets propagate transitively over
+// the module-local call graph, so an edge through a helper call is
+// still an edge. Goroutine bodies start with an empty held set —
+// they are their own threads. Two documented blind spots: closures
+// invoked synchronously while the parent holds a lock are analyzed
+// with an empty held set, and helper functions that return while
+// still holding a lock do not extend the caller's held set.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "the module-wide mutex acquisition graph must be acyclic and RLock→Lock upgrade-free",
+	RunModule: runLockOrder,
+}
+
+func infoObjectOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s := strings.TrimPrefix(t.String(), "*")
+	return s == "sync.Mutex" || s == "sync.RWMutex"
+}
+
+// lockClassObj resolves the receiver of a Lock/Unlock call to the
+// declared variable or struct field that names the lock class.
+func lockClassObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return infoObjectOf(info, x)
+	case *ast.SelectorExpr:
+		return infoObjectOf(info, x.Sel)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return lockClassObj(info, x.X)
+		}
+	case *ast.StarExpr:
+		return lockClassObj(info, x.X)
+	}
+	return nil
+}
+
+// lockGraph accumulates classes, edges, and function summaries
+// across the whole module.
+type lockGraph struct {
+	pass    *ModulePass
+	classes map[types.Object]int
+	names   []string
+	// edges[from][to] = earliest acquisition position creating it.
+	edges map[int]map[int]token.Pos
+	// acq maps a module-local function to the lock/mode keys
+	// (2*class for RLock, 2*class+1 for Lock) it may acquire,
+	// directly or transitively.
+	acq map[types.Object]map[int]bool
+}
+
+func (g *lockGraph) class(obj types.Object, pkgName string) int {
+	if c, ok := g.classes[obj]; ok {
+		return c
+	}
+	c := len(g.names)
+	g.classes[obj] = c
+	g.names = append(g.names, pkgName+"."+obj.Name())
+	return c
+}
+
+func (g *lockGraph) addEdge(from, to int, pos token.Pos) {
+	if from == to {
+		return
+	}
+	m := g.edges[from]
+	if m == nil {
+		m = map[int]token.Pos{}
+		g.edges[from] = m
+	}
+	if old, ok := m[to]; !ok || pos < old {
+		m[to] = pos
+	}
+}
+
+// mutexOp describes one Lock-family call.
+type mutexOp struct {
+	class int
+	name  string // Lock, RLock, Unlock, RUnlock
+}
+
+// resolveMutexOp classifies call as a mutex operation, or ok=false.
+func (g *lockGraph) resolveMutexOp(pkg *Package, call *ast.CallExpr) (mutexOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return mutexOp{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return mutexOp{}, false
+	}
+	if !isMutexType(pkg.Info.TypeOf(sel.X)) {
+		return mutexOp{}, false
+	}
+	obj := lockClassObj(pkg.Info, sel.X)
+	if obj == nil {
+		return mutexOp{}, false
+	}
+	return mutexOp{class: g.class(obj, pkg.Name), name: sel.Sel.Name}, true
+}
+
+func runLockOrder(pass *ModulePass) {
+	g := &lockGraph{
+		pass:    pass,
+		classes: map[types.Object]int{},
+		edges:   map[int]map[int]token.Pos{},
+		acq:     map[types.Object]map[int]bool{},
+	}
+
+	// Pass 1: direct acquisition summaries and the module-local call
+	// graph. A function's summary includes its synchronous closures
+	// but not its go-spawned ones (those run with their own empty
+	// held set).
+	calls := map[types.Object]map[types.Object]bool{}
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fobj := pkg.Info.Defs[fd.Name]
+				if fobj == nil {
+					continue
+				}
+				direct := map[int]bool{}
+				fcalls := map[types.Object]bool{}
+				spawned := goSpawnedLits(fd.Body)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok && spawned[lit] {
+						return false
+					}
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if op, ok := g.resolveMutexOp(pkg, call); ok {
+						switch op.name {
+						case "Lock":
+							direct[2*op.class+1] = true
+						case "RLock":
+							direct[2*op.class] = true
+						}
+						return true
+					}
+					if callee := calleeFuncInfo(pkg.Info, call); callee != nil {
+						fcalls[callee] = true
+					}
+					return true
+				})
+				if len(direct) > 0 {
+					g.acq[fobj] = direct
+				}
+				if len(fcalls) > 0 {
+					calls[fobj] = fcalls
+				}
+			}
+		}
+	}
+	// Transitive closure of acquisition sets over the call graph.
+	for changed := true; changed; {
+		changed = false
+		for f, cs := range calls {
+			for gfn := range cs {
+				for k := range g.acq[gfn] {
+					if !g.acq[f][k] {
+						if g.acq[f] == nil {
+							g.acq[f] = map[int]bool{}
+						}
+						g.acq[f][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: flow-sensitive held sets per function universe,
+	// recording edges and upgrades.
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				forEachFuncBody(fd.Body, func(body *ast.BlockStmt) {
+					g.analyzeBody(pkg, body)
+				})
+			}
+		}
+	}
+
+	// Pass 3: report every acquisition edge that participates in a
+	// cycle. (Run sorts diagnostics by position afterwards.)
+	for from, tos := range g.edges {
+		for to, pos := range tos {
+			if g.pathExists(to, from) {
+				pass.Reportf(pos, "lock-order cycle: acquiring %s while holding %s (an opposite-order path exists)", g.names[to], g.names[from])
+			}
+		}
+	}
+}
+
+// goSpawnedLits collects the function literals launched directly via
+// a go statement beneath root.
+func goSpawnedLits(root ast.Node) map[*ast.FuncLit]bool {
+	out := map[*ast.FuncLit]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+				out[lit] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// calleeFuncInfo is calleeFunc for contexts that carry a types.Info
+// instead of a Pass.
+func calleeFuncInfo(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.IndexExpr:
+		fun = f.X
+	case *ast.IndexListExpr:
+		fun = f.X
+	}
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := infoObjectOf(info, id).(*types.Func)
+	return fn
+}
+
+// analyzeBody runs the held-set dataflow over one function body and
+// records edges/upgrades.
+func (g *lockGraph) analyzeBody(pkg *Package, body *ast.BlockStmt) {
+	// Cheap pre-scan: skip bodies with no mutex ops and no calls to
+	// acquiring functions.
+	interesting := false
+	inspectShallow(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if _, ok := g.resolveMutexOp(pkg, call); ok {
+			interesting = true
+		} else if callee := calleeFuncInfo(pkg.Info, call); callee != nil && len(g.acq[callee]) > 0 {
+			interesting = true
+		}
+	})
+	if !interesting {
+		return
+	}
+
+	nClasses := len(g.names)
+	heldClasses := func(state BitSet) []int {
+		var held []int
+		for c := 0; c < nClasses; c++ {
+			if state.Has(2*c) || state.Has(2*c+1) {
+				held = append(held, c)
+			}
+		}
+		return held
+	}
+	step := func(n ast.Node, state BitSet, report bool) {
+		switch n.(type) {
+		case *ast.GoStmt:
+			return // the spawned call runs with its own empty held set
+		case *ast.DeferStmt:
+			return // deferred Unlock releases at exit: held until then
+		}
+		inspectShallow(n, func(m ast.Node) {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if op, ok := g.resolveMutexOp(pkg, call); ok {
+				switch op.name {
+				case "Lock":
+					if report {
+						if state.Has(2 * op.class) {
+							g.pass.Reportf(call.Pos(), "lock upgrade: %s.Lock() while an RLock on the same class may be held — the reader blocks the writer it is becoming", g.names[op.class])
+						}
+						for _, h := range heldClasses(state) {
+							g.addEdge(h, op.class, call.Pos())
+						}
+					}
+					state.Set(2*op.class + 1)
+				case "RLock":
+					if report {
+						for _, h := range heldClasses(state) {
+							g.addEdge(h, op.class, call.Pos())
+						}
+					}
+					state.Set(2 * op.class)
+				case "Unlock":
+					state.Clear(2*op.class + 1)
+				case "RUnlock":
+					state.Clear(2 * op.class)
+				}
+				return
+			}
+			if !report {
+				return
+			}
+			callee := calleeFuncInfo(pkg.Info, call)
+			if callee == nil {
+				return
+			}
+			for k := range g.acq[callee] {
+				t := k / 2
+				for _, h := range heldClasses(state) {
+					g.addEdge(h, t, call.Pos())
+				}
+				if k%2 == 1 && state.Has(2*t) {
+					g.pass.Reportf(call.Pos(), "lock upgrade: call acquires %s.Lock() while an RLock on the same class may be held", g.names[t])
+				}
+			}
+		})
+	}
+
+	cfg := BuildCFG(body)
+	nbits := 2 * nClasses
+	if nbits == 0 {
+		return
+	}
+	ins := cfg.ForwardMay(nbits, func(b *Block, out BitSet) {
+		for _, n := range b.Nodes {
+			step(n, out, false)
+		}
+	})
+	for _, b := range cfg.Blocks {
+		if !cfg.Reachable(b) {
+			continue
+		}
+		state := ins[b.Index].Clone()
+		for _, n := range b.Nodes {
+			step(n, state, true)
+		}
+	}
+}
+
+// pathExists reports whether the acquisition graph has a path from
+// src to dst.
+func (g *lockGraph) pathExists(src, dst int) bool {
+	seen := map[int]bool{src: true}
+	stack := []int{src}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if c == dst {
+			return true
+		}
+		for to := range g.edges[c] {
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	return false
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // ObsGuard proves the observability layer's "free when off" contract
@@ -42,7 +43,12 @@ func runObsGuard(pass *Pass) {
 			if pass.Pkg.Name == "obs" {
 				checkNilGuard(pass, fd)
 			}
-			checkSpans(pass, fd)
+			// Each function literal is its own control-flow universe:
+			// spans started inside one are checked against its CFG,
+			// not the enclosing declaration's.
+			forEachFuncBody(fd.Body, func(body *ast.BlockStmt) {
+				checkSpans(pass, body)
+			})
 		}
 	}
 }
@@ -135,35 +141,45 @@ func isTailDelegation(fd *ast.FuncDecl, recv string) bool {
 	return ok && isIdentNamed(sel.X, recv)
 }
 
-// checkSpans enforces rule 2 on one function declaration.
-func checkSpans(pass *Pass, fd *ast.FuncDecl) {
+// checkSpans enforces rule 2 on one function body (declaration or
+// literal; nested literals are skipped — they get their own call).
+func checkSpans(pass *Pass, body *ast.BlockStmt) {
 	var starts []*ast.AssignStmt
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	inspectShallow(body, func(n ast.Node) {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
-			return true
+			return
 		}
 		id, ok := as.Lhs[0].(*ast.Ident)
 		if !ok || id.Name == "_" {
-			return true
+			return
 		}
 		call, ok := as.Rhs[0].(*ast.CallExpr)
 		if !ok {
-			return true
+			return
 		}
 		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 		if !ok || sel.Sel.Name != "Start" {
-			return true
+			return
 		}
 		if named, ok := deref(pass.TypeOf(call)); !ok || named != "Span" {
-			return true
+			return
 		}
 		starts = append(starts, as)
-		return true
 	})
-	for _, as := range starts {
-		checkSpanEnds(pass, fd, as)
+	if len(starts) == 0 {
+		return
 	}
+	var tracks []spanTrack
+	for _, as := range starts {
+		if tr, ok := classifySpan(pass, body, as); ok {
+			tracks = append(tracks, tr)
+		}
+	}
+	if len(tracks) == 0 {
+		return
+	}
+	checkSpanFlow(pass, body, tracks)
 }
 
 // deref names the (possibly pointer-wrapped) named type of t.
@@ -180,24 +196,32 @@ func deref(t interface{ String() string }) (string, bool) {
 	return s, s != ""
 }
 
-// checkSpanEnds verifies that the span assigned in start reaches an
-// ender on every return path of fd.
-func checkSpanEnds(pass *Pass, fd *ast.FuncDecl, start *ast.AssignStmt) {
+// spanTrack is one live span variable under flow analysis.
+type spanTrack struct {
+	start  *ast.AssignStmt
+	obj    types.Object
+	name   string
+	enders []*ast.CallExpr
+}
+
+// classifySpan inspects every use of the span variable assigned in
+// start. A use that is neither the Start assignment, a reassignment,
+// nor the receiver of an ender means the span escapes our view
+// (stored, returned, handed onward, or captured by a closure) —
+// assume managed there and drop the track. A deferred ender covers
+// all paths, so those tracks are dropped too. The survivors go to the
+// CFG dataflow in checkSpanFlow.
+func classifySpan(pass *Pass, body *ast.BlockStmt, start *ast.AssignStmt) (spanTrack, bool) {
 	id := start.Lhs[0].(*ast.Ident)
 	obj := pass.ObjectOf(id)
 	if obj == nil {
-		return
+		return spanTrack{}, false
 	}
-	name := id.Name
-
-	// Classify every use of the span variable. A use that is neither
-	// the Start assignment, a reassignment, nor the receiver of an
-	// ender means the span escapes our view — assume managed there.
 	deferred := false
 	escaped := false
 	parents := map[ast.Node]ast.Node{}
 	var stack []ast.Node
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		if n == nil {
 			stack = stack[:len(stack)-1]
 			return true
@@ -209,10 +233,10 @@ func checkSpanEnds(pass *Pass, fd *ast.FuncDecl, start *ast.AssignStmt) {
 		return true
 	})
 	var enderCalls []*ast.CallExpr
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	inspectShallow(body, func(n ast.Node) {
 		use, ok := n.(*ast.Ident)
 		if !ok || pass.ObjectOf(use) != obj {
-			return true
+			return
 		}
 		parent := parents[use]
 		switch p := parent.(type) {
@@ -223,32 +247,109 @@ func checkSpanEnds(pass *Pass, fd *ast.FuncDecl, start *ast.AssignStmt) {
 					if isDeferred(parents, call) {
 						deferred = true
 					}
-					return true
+					return
 				}
 			}
 			escaped = true
 		case *ast.AssignStmt:
 			for _, l := range p.Lhs {
 				if l == ast.Expr(use) {
-					return true // (re)assignment
+					return // (re)assignment
 				}
 			}
 			escaped = true
 		default:
 			escaped = true
 		}
+	})
+	// A capture by a nested function literal is an escape: the
+	// closure may End it on paths this CFG cannot see.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if use, ok := m.(*ast.Ident); ok && pass.ObjectOf(use) == obj {
+					escaped = true
+				}
+				return true
+			})
+			return false
+		}
 		return true
 	})
 	if escaped || deferred {
-		return
+		return spanTrack{}, false
 	}
+	return spanTrack{start: start, obj: obj, name: id.Name, enders: enderCalls}, true
+}
 
-	// Every return path lexically after the Start must pass an ender.
-	exits := collectExits(fd, start)
-	for _, exit := range exits {
-		if !pathHasEnder(fd, start, exit, enderCalls, parents) {
-			pass.Reportf(start.Pos(), "span %s started here does not reach %s.End() on the return path at line %d",
-				name, name, pass.Fset.Position(exit.Pos()).Line)
+// checkSpanFlow runs a forward may-analysis over the body's CFG: bit
+// i means "span i is live (started, not yet ended)". The bit is
+// gen'd at the Start assignment, killed by any node containing one of
+// the span's ender calls or a reassignment, and must be clear at
+// every return and at the fall-off-the-end exit. Panic exits are
+// exempt: a panicking path is not a return path.
+func checkSpanFlow(pass *Pass, body *ast.BlockStmt, tracks []spanTrack) {
+	cfg := BuildCFG(body)
+	step := func(n ast.Node, state BitSet) {
+		for i := range tracks {
+			tr := &tracks[i]
+			if n == ast.Node(tr.start) {
+				state.Set(i)
+				continue
+			}
+			killed := false
+			for _, e := range tr.enders {
+				if n.Pos() <= e.Pos() && e.End() <= n.End() {
+					killed = true
+				}
+			}
+			if !killed {
+				if as, ok := n.(*ast.AssignStmt); ok {
+					for _, l := range as.Lhs {
+						if id, ok := l.(*ast.Ident); ok && pass.ObjectOf(id) == tr.obj {
+							killed = true
+						}
+					}
+				}
+			}
+			if killed {
+				state.Clear(i)
+			}
+		}
+	}
+	ins := cfg.ForwardMay(len(tracks), func(b *Block, out BitSet) {
+		for _, n := range b.Nodes {
+			step(n, out)
+		}
+	})
+	report := func(state BitSet, exitLine int) {
+		for i := range tracks {
+			if state.Has(i) {
+				tr := &tracks[i]
+				pass.Reportf(tr.start.Pos(), "span %s started here does not reach %s.End() on the return path at line %d",
+					tr.name, tr.name, exitLine)
+			}
+		}
+	}
+	for _, b := range cfg.Blocks {
+		if !cfg.Reachable(b) {
+			continue
+		}
+		switch b.Term {
+		case TermReturn:
+			state := ins[b.Index].Clone()
+			for _, n := range b.Nodes {
+				step(n, state)
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					report(state, pass.Fset.Position(r.Pos()).Line)
+				}
+			}
+		case TermFall:
+			state := ins[b.Index].Clone()
+			for _, n := range b.Nodes {
+				step(n, state)
+			}
+			report(state, pass.Fset.Position(body.Rbrace).Line)
 		}
 	}
 }
@@ -257,109 +358,4 @@ func checkSpanEnds(pass *Pass, fd *ast.FuncDecl, start *ast.AssignStmt) {
 func isDeferred(parents map[ast.Node]ast.Node, call *ast.CallExpr) bool {
 	d, ok := parents[call].(*ast.DeferStmt)
 	return ok && d.Call == call
-}
-
-// exitPoint is one way control leaves the function: a return
-// statement, or the closing brace when the body can fall off the end.
-type exitPoint struct {
-	stmt ast.Stmt // nil for the implicit end-of-body exit
-	pos  token.Pos
-}
-
-func (e exitPoint) Pos() token.Pos { return e.pos }
-
-// collectExits gathers the return statements after start, plus the
-// implicit fall-off-the-end exit for bodies that permit it.
-func collectExits(fd *ast.FuncDecl, start *ast.AssignStmt) []exitPoint {
-	var exits []exitPoint
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false // nested function: its returns are not ours
-		}
-		if r, ok := n.(*ast.ReturnStmt); ok && r.Pos() > start.Pos() {
-			exits = append(exits, exitPoint{stmt: r, pos: r.Pos()})
-		}
-		return true
-	})
-	n := len(fd.Body.List)
-	if n == 0 || !terminates(fd.Body.List[n-1]) {
-		exits = append(exits, exitPoint{pos: fd.Body.Rbrace})
-	}
-	return exits
-}
-
-// pathHasEnder walks from the exit back toward the Start assignment
-// through the enclosing statement lists: some statement strictly
-// between them must contain an ender call. Reaching the Start without
-// one means this return path leaks the span.
-func pathHasEnder(fd *ast.FuncDecl, start *ast.AssignStmt, exit exitPoint, enders []*ast.CallExpr, parents map[ast.Node]ast.Node) bool {
-	containsEnder := func(s ast.Stmt) bool {
-		for _, e := range enders {
-			if s.Pos() <= e.Pos() && e.End() <= s.End() {
-				return true
-			}
-		}
-		return false
-	}
-	containsStart := func(s ast.Stmt) bool {
-		return s.Pos() <= start.Pos() && start.End() <= s.End()
-	}
-
-	var path []ast.Node
-	if exit.stmt != nil {
-		path = pathTo(fd.Body, exit.stmt)
-	} else {
-		path = []ast.Node{fd.Body}
-	}
-	// cur walks up the ancestor chain; at each statement list we scan
-	// the statements before cur's slot, newest first.
-	for i := len(path) - 1; i >= 0; i-- {
-		list := stmtList(path[i])
-		if list == nil {
-			continue
-		}
-		// Find the child of this list on the path (or, for the
-		// implicit exit, scan the whole list).
-		cut := len(list)
-		if i+1 < len(path) || exit.stmt != nil {
-			child := exit.stmt
-			if i+1 < len(path) {
-				child = nil
-				if s, ok := path[i+1].(ast.Stmt); ok {
-					child = s
-				}
-			}
-			for k, s := range list {
-				if s == child {
-					cut = k
-					break
-				}
-			}
-		}
-		for k := cut - 1; k >= 0; k-- {
-			s := list[k]
-			if containsEnder(s) {
-				return true
-			}
-			if containsStart(s) {
-				return false // reached Start with no ender in between
-			}
-		}
-	}
-	// The Start is not on the path to this exit (e.g. the return sits
-	// in a sibling branch taken before the span begins).
-	return true
-}
-
-// stmtList extracts the statement list a node owns, if any.
-func stmtList(n ast.Node) []ast.Stmt {
-	switch n := n.(type) {
-	case *ast.BlockStmt:
-		return n.List
-	case *ast.CaseClause:
-		return n.Body
-	case *ast.CommClause:
-		return n.Body
-	}
-	return nil
 }

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpawnGuard closes the hole guardedby leaves open: guardedby exempts
+// everything inside a //coflow:singlewriter function, but a goroutine
+// spawned there — or a closure that escapes there — runs OFF the
+// single-writer goroutine, so the exemption must not extend into it.
+//
+// Inside a //coflow:singlewriter function, a function literal that is
+// (a) launched with go, (b) sent on a channel, or (c) stored into a
+// field, element, or package-level variable is treated as escaping:
+//
+//   - it may not touch a field guarded by a serialization domain
+//     (non-mutex guard) at all — the domain is the single-writer loop
+//     it just left;
+//   - it may touch a mutex-guarded field only if it takes that lock
+//     itself (a Lock on the same base expression inside the literal).
+//
+// Closures that stay synchronous — assigned to a local and called
+// in-loop (the daemon's publish/handle helpers) or passed directly as
+// a call argument — still run on the single-writer goroutine and are
+// exempt, exactly like the enclosing function. Passing an escaping
+// closure through a call argument that stores it is the documented
+// blind spot; the scenario soak and race-enabled tests back this
+// analyzer up at runtime.
+var SpawnGuard = &Analyzer{
+	Name: "spawnguard",
+	Doc:  "goroutines/escaping closures inside //coflow:singlewriter functions must not touch serialization-domain state",
+	Run:  runSpawnGuard,
+}
+
+func runSpawnGuard(pass *Pass) {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !FuncAnnotations(fd)["singlewriter"] {
+				continue
+			}
+			checkSpawns(pass, fd, guarded)
+		}
+	}
+}
+
+func checkSpawns(pass *Pass, fd *ast.FuncDecl, guarded map[types.Object]guardInfo) {
+	// Local name -> literal bindings, so `f := func() {...}; go f()`
+	// resolves. Only direct bindings count; anything fancier already
+	// escapes via the store rules below.
+	litBindings := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, l := range as.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if lit, ok := as.Rhs[i].(*ast.FuncLit); ok {
+				if obj := pass.ObjectOf(id); obj != nil {
+					litBindings[obj] = lit
+				}
+			}
+		}
+		return true
+	})
+
+	seen := map[*ast.FuncLit]bool{}
+	escape := func(lit *ast.FuncLit, how string) {
+		if lit == nil || seen[lit] {
+			return
+		}
+		seen[lit] = true
+		checkEscapedLit(pass, fd, lit, how, guarded)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			switch fun := ast.Unparen(n.Call.Fun).(type) {
+			case *ast.FuncLit:
+				escape(fun, "a goroutine")
+			case *ast.Ident:
+				if obj := pass.ObjectOf(fun); obj != nil {
+					escape(litBindings[obj], "a goroutine")
+				}
+			}
+		case *ast.SendStmt:
+			if lit, ok := ast.Unparen(n.Value).(*ast.FuncLit); ok {
+				escape(lit, "a channel send")
+			} else if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok {
+				if obj := pass.ObjectOf(id); obj != nil {
+					escape(litBindings[obj], "a channel send")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				if len(n.Rhs) != len(n.Lhs) {
+					continue
+				}
+				lit, ok := ast.Unparen(n.Rhs[i]).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				switch lhs := l.(type) {
+				case *ast.Ident:
+					// Package-level variable stores escape; locals
+					// stay synchronous until proven otherwise.
+					if obj := pass.ObjectOf(lhs); obj != nil && obj.Parent() == pass.Pkg.Types.Scope() {
+						escape(lit, "a package-level variable")
+					}
+				default:
+					escape(lit, "a field or element store")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkEscapedLit vets one escaping literal's body against the
+// guarded-field table.
+func checkEscapedLit(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit, how string, guarded map[types.Object]guardInfo) {
+	locks := collectLockedPrefixesIn(lit.Body)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.Pkg.Info.Uses[sel.Sel]
+		info, ok := guarded[obj]
+		if !ok {
+			return true
+		}
+		if info.isMutex {
+			if base := exprString(sel.X); base != "" && locks[base+"."+info.guard] {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(), "field %s is guarded by %s but is touched from a closure escaping //coflow:singlewriter %s via %s without taking %s.%s itself",
+				sel.Sel.Name, info.guard, fd.Name.Name, how, describeExpr(sel.X), info.guard)
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "field %s is guarded by the %q serialization domain but is touched from a closure escaping //coflow:singlewriter %s via %s",
+			sel.Sel.Name, info.guard, fd.Name.Name, how)
+		return true
+	})
+}

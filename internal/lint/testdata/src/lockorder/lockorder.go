@@ -1,0 +1,105 @@
+// Package lockorder exercises the lockorder analyzer: the
+// module-wide mutex acquisition graph must be acyclic, and no path
+// may upgrade an RLock to a Lock on the same class.
+package lockorder
+
+import "sync"
+
+type ab struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// lockAB nests b inside a (the deferred unlock holds a to exit).
+func (x *ab) lockAB() {
+	x.a.Lock()
+	defer x.a.Unlock()
+	x.b.Lock() // want "lock-order cycle: acquiring lockorder.b while holding lockorder.a"
+	x.b.Unlock()
+}
+
+// lockBA nests a inside b: the opposite order, so both edges sit on
+// a cycle.
+func (x *ab) lockBA() {
+	x.b.Lock()
+	defer x.b.Unlock()
+	x.a.Lock() // want "lock-order cycle: acquiring lockorder.a while holding lockorder.b"
+	x.a.Unlock()
+}
+
+// lockABAgain repeats the a-then-b order: the edge already exists at
+// an earlier position, so the cycle is reported there, not here.
+func (x *ab) lockABAgain() {
+	x.a.Lock()
+	x.b.Lock()
+	x.b.Unlock()
+	x.a.Unlock()
+}
+
+// sequential holds nothing while acquiring: no edges form.
+func (x *ab) sequential() {
+	x.a.Lock()
+	x.a.Unlock()
+	x.b.Lock()
+	x.b.Unlock()
+}
+
+type rw struct {
+	mu sync.RWMutex
+}
+
+// upgrade takes the write lock while still holding the read lock.
+func (r *rw) upgrade() {
+	r.mu.RLock()
+	r.mu.Lock() // want "lock upgrade: lockorder.mu.Lock"
+	r.mu.Unlock()
+	r.mu.RUnlock()
+}
+
+// lockForWrite acquires the write lock directly: fine on its own.
+func (r *rw) lockForWrite() {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// upgradeViaCall reaches the write lock through a helper: the
+// transitive acquisition summary still catches the upgrade.
+func (r *rw) upgradeViaCall() {
+	r.mu.RLock()
+	r.lockForWrite() // want "call acquires lockorder.mu.Lock"
+	r.mu.RUnlock()
+}
+
+// readThenWrite releases the read lock before taking the write lock:
+// not an upgrade.
+func (r *rw) readThenWrite() {
+	r.mu.RLock()
+	r.mu.RUnlock()
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+type cd struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+// spawn locks d from a goroutine while holding c: the goroutine has
+// its own empty held set, so no c-to-d edge forms.
+func (y *cd) spawn() {
+	y.c.Lock()
+	go func() {
+		y.d.Lock()
+		y.d.Unlock()
+	}()
+	y.c.Unlock()
+}
+
+// dThenC is then the only ordered pair on c/d: a single edge with no
+// opposite-order path is not a cycle.
+func (y *cd) dThenC() {
+	y.d.Lock()
+	defer y.d.Unlock()
+	y.c.Lock()
+	y.c.Unlock()
+}

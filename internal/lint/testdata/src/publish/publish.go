@@ -1,0 +1,69 @@
+// Package publish exercises the publish analyzer: a value handed to
+// atomic.Pointer.Store/CompareAndSwap (or a //coflow:published sink)
+// is visible to concurrent readers and must be frozen.
+package publish
+
+import "sync/atomic"
+
+type Snap struct {
+	n    int
+	vals []int
+}
+
+type Holder struct{ cur atomic.Pointer[Snap] }
+
+// Install hands the snapshot to concurrent readers.
+//
+//coflow:published
+func Install(s *Snap) {}
+
+// storeWrite mutates the snapshot after publishing it.
+func storeWrite(h *Holder) {
+	s := &Snap{}
+	h.cur.Store(s)
+	s.n = 7 // want "after s was published"
+}
+
+// casWrite publishes via CompareAndSwap, then writes through an
+// element of the published value.
+func casWrite(h *Holder, old *Snap) {
+	next := &Snap{vals: make([]int, 4)}
+	if h.cur.CompareAndSwap(old, next) {
+		next.vals[0] = 1 // want "after next was published"
+	}
+}
+
+// aliasWrite mutates the published snapshot through a second name:
+// the alias class is published as a whole.
+func aliasWrite(h *Holder) {
+	s := &Snap{}
+	alias := s
+	h.cur.Store(s)
+	alias.n++ // want "after alias was published"
+}
+
+// installWrite publishes through the annotated sink instead of an
+// atomic pointer.
+func installWrite() {
+	s := &Snap{}
+	Install(s)
+	s.n = 7 // want "after s was published"
+}
+
+// buildThenStore does all its writing before publication: clean.
+func buildThenStore(h *Holder) {
+	s := &Snap{}
+	s.n = 5
+	s.vals = append(s.vals, 1)
+	h.cur.Store(s)
+}
+
+// rebindAfterStore rebinds the name to a fresh snapshot after
+// publishing: writes through the new value are clean.
+func rebindAfterStore(h *Holder) {
+	s := &Snap{}
+	h.cur.Store(s)
+	s = &Snap{}
+	s.n = 3
+	h.cur.Store(s)
+}

@@ -1,0 +1,54 @@
+// Package spawnguard exercises the spawnguard analyzer: a closure
+// that escapes a //coflow:singlewriter function runs off the
+// single-writer goroutine, so it loses the exemption guardedby
+// grants the enclosing function.
+package spawnguard
+
+import "sync"
+
+type loop struct {
+	mu      sync.Mutex
+	hits    int   // guarded by mu
+	pending []int // guarded by eventloop
+	done    func()
+}
+
+// run owns all the state. Direct touches are fine (that is
+// guardedby's business); escaping closures are not.
+//
+//coflow:singlewriter
+func (l *loop) run(ch chan func()) {
+	l.pending = nil // clean: still on the single-writer goroutine
+
+	go func() {
+		l.pending = nil // want "serialization domain"
+	}()
+
+	go func() {
+		l.hits++ // want "without taking l.mu itself"
+	}()
+
+	go func() {
+		l.mu.Lock()
+		l.hits++ // clean: the goroutine takes the lock itself
+		l.mu.Unlock()
+	}()
+
+	f := func() {
+		l.pending = nil // clean: synchronous closure, called in-loop below
+	}
+	f()
+
+	g := func() {
+		l.hits = 0 // want "without taking l.mu itself"
+	}
+	go g()
+
+	ch <- func() {
+		l.pending = nil // want "via a channel send"
+	}
+
+	l.done = func() {
+		l.pending = nil // want "via a field or element store"
+	}
+}

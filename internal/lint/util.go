@@ -77,28 +77,35 @@ func isErrType(t types.Type) bool {
 	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
 }
 
-// pathTo returns the node path from root down to target (inclusive),
-// or nil if target is not beneath root.
-func pathTo(root, target ast.Node) []ast.Node {
-	var stack, result []ast.Node
+// forEachFuncBody invokes fn on root and on the body of every
+// function literal nested inside it, at any depth — each body exactly
+// once. Analyzers that treat function literals as independent
+// control-flow universes (obsguard spans, pooled) iterate with this.
+func forEachFuncBody(root *ast.BlockStmt, fn func(*ast.BlockStmt)) {
+	fn(root)
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			fn(lit.Body)
+		}
+		return true
+	})
+}
+
+// inspectShallow walks the subtree like ast.Inspect but does not
+// descend into nested function literals — their statements belong to
+// a different function. The literal node itself is still visited, so
+// construct checks (allocfree's "function literal" finding) see it.
+func inspectShallow(root ast.Node, fn func(ast.Node)) {
 	ast.Inspect(root, func(n ast.Node) bool {
 		if n == nil {
-			if result == nil {
-				stack = stack[:len(stack)-1]
-			}
 			return true
 		}
-		if result != nil {
-			return false
-		}
-		stack = append(stack, n)
-		if n == target {
-			result = append([]ast.Node(nil), stack...)
+		fn(n)
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
 			return false
 		}
 		return true
 	})
-	return result
 }
 
 // terminates reports whether a statement definitely transfers

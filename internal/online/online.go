@@ -95,6 +95,7 @@ func SimulateOrder(ins *coflowmodel.Instance, order []int) (*Result, error) {
 		rank[k] = pos
 	}
 	return simulate(ins, func(s *State, slot int64) StepResult {
+		//lint:ignore pooled the closure re-lends step's loan to the synchronous simulate driver, which consumes it before the next step
 		return s.step(slot, func(active []*cfState) {
 			sort.SliceStable(active, func(a, b int) bool {
 				return rank[active[a].key] < rank[active[b].key]
@@ -106,6 +107,7 @@ func SimulateOrder(ins *coflowmodel.Instance, order []int) (*Result, error) {
 // Simulate runs the online greedy scheduler under the given policy.
 func Simulate(ins *coflowmodel.Instance, policy Policy) (*Result, error) {
 	return simulate(ins, func(s *State, slot int64) StepResult {
+		//lint:ignore pooled the closure re-lends Step's loan to the synchronous simulate driver, which consumes it before the next Step
 		return s.Step(slot, policy)
 	})
 }

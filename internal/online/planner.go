@@ -127,6 +127,7 @@ func (p *Planner) Shed(entries []matrix.SparseEntry) error {
 // until the next Plan.
 //
 //coflow:allocfree
+//coflow:pooled
 func (p *Planner) Plan() (*bvn.Decomposition, error) {
 	switch {
 	case p.grew || p.plan == nil:

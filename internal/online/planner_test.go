@@ -140,3 +140,53 @@ func TestPlannerMisuse(t *testing.T) {
 		t.Fatal("Shed beyond demand succeeded")
 	}
 }
+
+// TestPlanAfterShedRepairsCache is the hand-audit regression for the
+// pooled-plan cache: a Shed between Plans must not serve the stale
+// cached decomposition — the next Plan has to repair (via Update, not
+// a cold recompute) and its result must decompose the reduced demand.
+func TestPlanAfterShedRepairsCache(t *testing.T) {
+	reg := obs.NewRegistry()
+	o := bvn.NewObs(reg)
+	p := NewPlanner(2)
+	p.SetObs(o)
+	if err := p.Add([]coflowmodel.Flow{
+		{Src: 0, Dst: 0, Size: 2}, {Src: 1, Dst: 1, Size: 2},
+		{Src: 0, Dst: 1, Size: 1}, {Src: 1, Dst: 0, Size: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Load(); got != 3 {
+		t.Fatalf("initial Load = %d, want 3", got)
+	}
+
+	// Cancel the off-diagonal demand entirely.
+	if err := p.Shed([]matrix.SparseEntry{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	decomposes := o.Decomposes.Value()
+	dec, err := p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.NewSquare(2)
+	want.Add(0, 0, 2)
+	want.Add(1, 1, 2)
+	if err := dec.Verify(want); err != nil {
+		t.Fatalf("Plan after Shed served a stale decomposition: %v", err)
+	}
+	if got := p.Load(); got != 2 {
+		t.Fatalf("Load after Shed = %d, want 2", got)
+	}
+	if got := o.Updates.Value(); got != 1 {
+		t.Fatalf("Plan after Shed ran %d Updates, want 1 (incremental repair)", got)
+	}
+	if got := o.Decomposes.Value() - o.UpdateFallbacks.Value(); got != decomposes {
+		t.Fatal("Plan after Shed ran a cold decomposition instead of the incremental repair")
+	}
+}

@@ -306,6 +306,7 @@ func (s *State) NextRelease(t int64) int64 {
 // constant-factor guarantees do not transfer to this scheduler.
 //
 //coflow:allocfree
+//coflow:pooled
 func (s *State) Step(slot int64, policy Policy) StepResult {
 	stepSpan := s.obs.StepSeconds.Start()
 	s.obs.Steps.Inc()
@@ -337,6 +338,7 @@ func (s *State) Step(slot int64, policy Policy) StepResult {
 // full scan would produce exactly this result.
 //
 //coflow:allocfree
+//coflow:pooled
 func (s *State) replay(slot int64) StepResult {
 	span := s.obs.ReplaySeconds.Start()
 	for _, loc := range s.servedAt {
@@ -360,6 +362,7 @@ func (s *State) replay(slot int64) StepResult {
 // reaches steady-state capacity after the first few slots.
 //
 //coflow:allocfree
+//coflow:pooled
 func (s *State) step(slot int64, reorder func([]*cfState)) StepResult {
 	res := StepResult{Slot: slot}
 	s.active = s.active[:0]

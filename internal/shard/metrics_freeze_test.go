@@ -1,0 +1,49 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestMetricsSnapshotImmutable is the hand-audit regression for the
+// publish discipline on the metrics cache: Metrics() publishes its
+// result via an atomic pointer Store, so a snapshot handed to one
+// scraper must never be mutated by a later recompute — each window
+// builds a fresh ClusterMetrics and publishes that instead.
+func TestMetricsSnapshotImmutable(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, AggEvery: -1})
+	if _, _, _, err := c.Register(oneFlow()); err != nil {
+		t.Fatal(err)
+	}
+	first := c.Metrics()
+	before, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Change every roll-up input, then force a recompute + re-publish.
+	for i := 0; i < 3; i++ {
+		if _, _, _, err := c.Register(oneFlow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	second := c.Metrics()
+	if second == first {
+		t.Fatal("recompute republished the same snapshot pointer")
+	}
+	if second.Registered != 4 {
+		t.Fatalf("fresh snapshot registered = %d, want 4", second.Registered)
+	}
+
+	after, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("published snapshot mutated by a later recompute:\nbefore: %s\nafter:  %s", before, after)
+	}
+}

@@ -95,6 +95,8 @@ type executor struct {
 // Decomposer. The returned terms alias the Decomposer's recycled
 // buffers: they are consumed (served or copied) before the next
 // stage's decompose overwrites them.
+//
+//coflow:pooled
 func (e *executor) decompose(d *matrix.Matrix) (*bvn.Decomposition, error) {
 	return e.dec.DecomposeWith(d, e.plan.Strategy)
 }
